@@ -1,0 +1,37 @@
+"""Figure 13: storage overhead to achieve tamper evidence — Merkle Bucket
+Tree (Fabric v0.6) vs Merkle Patricia Trie (Quorum/Ethereum), real
+structures, real SHA-256, 10K records with 16-byte keys.
+
+Paper: MBT adds ~24 B per 10 B record (fixed scale: 1000 buckets,
+fan-out 4, depth 5) while MPT adds over 1 kB per record (deep trie +
+content-addressed node versions).
+"""
+
+from repro.bench.experiments import fig13_ads_overhead
+
+from conftest import print_dict, run_once
+
+
+def test_fig13_ads_overhead(benchmark):
+    result = run_once(benchmark, fig13_ads_overhead,
+                      record_sizes=(10, 100, 1000), records=5_000)
+    measured = result["measured"]
+    print_dict("Fig 13 MBT overhead bytes/record", measured["mbt"],
+               result["paper"]["mbt"])
+    print_dict("Fig 13 MPT overhead bytes/record", measured["mpt"],
+               result["paper"]["mpt"])
+
+    for size in (10, 100, 1000):
+        mbt = measured["mbt"][size]
+        mpt = measured["mpt"][size]
+        # Shape claim 1: MBT overhead stays tens of bytes.
+        assert mbt < 150
+        # Shape claim 2: MPT overhead is > 1 kB per record.
+        assert mpt > 800
+        # Shape claim 3: the gap is at least an order of magnitude.
+        assert mpt > 10 * mbt
+    # Shape claim 4: MBT depth is the paper's ceil(log4 1000) = 5.
+    assert result["measured"]["mbt_depth"] == 5
+    # Shape claim 5: MBT overhead is near-constant across record sizes.
+    mbt_values = list(measured["mbt"].values())
+    assert max(mbt_values) - min(mbt_values) < 60

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Contention study: how four concurrency designs react to skew.
+
+Reproduces the mechanism behind the paper's Figure 9 at example scale:
+as the Zipfian coefficient rises, TiDB (percolator latches + abort-fast)
+collapses disproportionately to its abort rate, Fabric (optimistic
+validation) aborts heavily but keeps most throughput, and etcd/Quorum
+(serial execution) don't notice the skew at all.
+
+Run:  python examples/contention_study.py
+"""
+
+from repro.bench.harness import BENCH, run_point
+
+SYSTEMS = ("tidb", "fabric", "etcd", "quorum")
+THETAS = (0.0, 0.8, 1.0)
+
+
+def main() -> None:
+    scale = BENCH.derive(record_count=20_000, measure_txns=1200)
+    print("Single-record read-modify-write, 1 kB records, 5 nodes")
+    print("-" * 76)
+    header = f"{'system':>8}"
+    for theta in THETAS:
+        header += f"   θ={theta}: tps (abort%)"
+    print(header)
+    for system in SYSTEMS:
+        line = f"{system:>8}"
+        for theta in THETAS:
+            result = run_point(system, scale=scale, theta=theta,
+                               mode="rmw")
+            line += f"   {result.tps:8,.0f} ({result.abort_rate:5.1%})"
+        print(line, flush=True)
+    print()
+    print("TiDB's collapse outpaces its abort rate: conflicting")
+    print("transactions hold the primary-record latch through lock")
+    print("resolution, so hot keys serialize *waiting* (Section 5.3.1).")
+
+
+if __name__ == "__main__":
+    main()

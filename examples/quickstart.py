@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: build two transactional systems and measure them.
+
+Builds the paper's fastest database (etcd) and fastest blockchain
+(Hyperledger Fabric) at the default 5-node full-replication setup, runs
+the YCSB uniform update workload against both, and prints the
+throughput/latency dichotomy the paper opens with.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import build_system
+from repro.sim import Environment
+from repro.systems import SystemConfig
+from repro.workloads import DriverConfig, YcsbConfig, YcsbWorkload, run_closed_loop
+
+
+def measure(name: str, clients: int) -> None:
+    env = Environment()
+    system = build_system(env, name, SystemConfig(num_nodes=5))
+    workload = YcsbWorkload(YcsbConfig(record_count=10_000,
+                                       record_size=1000))
+    system.load(workload.initial_records())
+    result = run_closed_loop(
+        env, system, workload.next_update,
+        DriverConfig(clients=clients, warmup_txns=200, measure_txns=1500))
+    print(f"{name:8s}  {result.tps:10,.0f} tps   "
+          f"mean latency {result.mean_latency * 1000:8.1f} ms   "
+          f"aborts {result.abort_rate:6.2%}")
+
+
+def main() -> None:
+    print("YCSB uniform update, 1 kB records, 5 nodes, full replication")
+    print("-" * 72)
+    measure("etcd", clients=256)
+    measure("fabric", clients=2000)
+    print()
+    print("The database processes an order of magnitude more updates —")
+    print("the taxonomy in repro.core explains exactly which design")
+    print("choices that gap decomposes into (replication model, failure")
+    print("model, concurrency, storage).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Authenticated data structures: Merkle tree, MPT, Merkle Bucket Tree."""
+
+from .mbt import MerkleBucketTree
+from .merkle import MerkleProof, MerkleTree
+from .mpt import EMPTY_ROOT, MerklePatriciaTrie, NodeStore, verify_proof
+
+__all__ = [
+    "EMPTY_ROOT",
+    "MerkleBucketTree",
+    "MerklePatriciaTrie",
+    "MerkleProof",
+    "MerkleTree",
+    "NodeStore",
+    "verify_proof",
+]

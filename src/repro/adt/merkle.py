@@ -1,0 +1,86 @@
+"""Binary Merkle tree with inclusion proofs.
+
+The generic authenticated data structure (Section 3.3.2): the root digest
+uniquely identifies the contents, and an access path is an integrity proof
+for the retrieved value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.hashing import NULL_HASH, hash_pair, sha256
+
+__all__ = ["MerkleTree", "MerkleProof"]
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Sibling hashes from a leaf to the root."""
+
+    leaf_index: int
+    leaf_count: int
+    siblings: tuple[bytes, ...]
+
+    def verify(self, leaf_data: bytes, root: bytes) -> bool:
+        """Recompute the root from ``leaf_data``; True iff it matches."""
+        if not 0 <= self.leaf_index < self.leaf_count:
+            return False
+        node = sha256(leaf_data)
+        index = self.leaf_index
+        count = self.leaf_count
+        for sibling in self.siblings:
+            if index % 2 == 0:
+                # Right edge without a sibling duplicates the node.
+                right = sibling if index + 1 < count else node
+                node = hash_pair(node, right)
+            else:
+                node = hash_pair(sibling, node)
+            index //= 2
+            count = (count + 1) // 2
+        return node == root
+
+
+class MerkleTree:
+    """A Merkle tree over an ordered list of byte-string leaves."""
+
+    def __init__(self, leaves: list[bytes]):
+        self.leaf_count = len(leaves)
+        self._levels: list[list[bytes]] = []
+        level = [sha256(leaf) for leaf in leaves]
+        self._levels.append(level)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level), 2):
+                if i + 1 < len(level):
+                    nxt.append(hash_pair(level[i], level[i + 1]))
+                else:
+                    nxt.append(hash_pair(level[i], level[i]))
+            self._levels.append(nxt)
+            level = nxt
+
+    @property
+    def root(self) -> bytes:
+        if not self._levels or not self._levels[0]:
+            return NULL_HASH
+        return self._levels[-1][0]
+
+    def prove(self, index: int) -> MerkleProof:
+        """Build the inclusion proof for leaf ``index``."""
+        if not 0 <= index < self.leaf_count:
+            raise IndexError(f"leaf index {index} out of range")
+        siblings = []
+        i = index
+        for level in self._levels[:-1]:
+            sibling_index = i + 1 if i % 2 == 0 else i - 1
+            if sibling_index < len(level):
+                siblings.append(level[sibling_index])
+            else:
+                siblings.append(level[i])
+            i //= 2
+        return MerkleProof(leaf_index=index, leaf_count=self.leaf_count,
+                           siblings=tuple(siblings))
+
+    def node_count(self) -> int:
+        """Number of stored hashes (storage-overhead accounting)."""
+        return sum(len(level) for level in self._levels)

@@ -1,0 +1,12 @@
+"""Post-run analysis: bottleneck reports and serializability checking."""
+
+from .bottlenecks import BottleneckReport, ResourceUsage, analyze_system
+from .serializability import HistoryChecker, SerializabilityReport
+
+__all__ = [
+    "BottleneckReport",
+    "HistoryChecker",
+    "ResourceUsage",
+    "SerializabilityReport",
+    "analyze_system",
+]

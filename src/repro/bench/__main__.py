@@ -1,0 +1,82 @@
+"""Regenerate paper artifacts from the command line.
+
+Usage::
+
+    python -m repro.bench fig4 fig13          # specific artifacts
+    python -m repro.bench --all --scale smoke # everything, fast
+    python -m repro.bench --list
+
+Scales: smoke (seconds per artifact), bench (default), paper (closest to
+the paper's measurement sizes; minutes per artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import experiments
+from .harness import BENCH, PAPER, SMOKE
+from .report import format_experiment
+
+EXPERIMENTS = {
+    "fig4": experiments.fig4_peak_throughput,
+    "fig5": experiments.fig5_latency,
+    "fig6": experiments.fig6_smallbank,
+    "fig7": experiments.fig7_cft_vs_bft,
+    "fig8": experiments.fig8_latency_breakdown,
+    "tab4": experiments.tab4_scaling,
+    "tab5": experiments.tab5_tidb_matrix,
+    "fig9": experiments.fig9_skew,
+    "fig10": experiments.fig10_opcount,
+    "fig11": experiments.fig11_record_size,
+    "fig12": experiments.fig12_storage,
+    "fig13": experiments.fig13_ads_overhead,
+    "fig14": experiments.fig14_sharding,
+    "fig15": experiments.fig15_hybrid_forecast,
+}
+
+SCALES = {"smoke": SMOKE, "bench": BENCH, "paper": PAPER}
+
+# fig12/fig13 take no scale (pure data-structure measurements)
+_NO_SCALE = {"fig12", "fig13"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate tables/figures from the paper.")
+    parser.add_argument("artifacts", nargs="*",
+                        help=f"artifact ids: {', '.join(EXPERIMENTS)}")
+    parser.add_argument("--all", action="store_true",
+                        help="run every artifact")
+    parser.add_argument("--scale", choices=list(SCALES), default="bench")
+    parser.add_argument("--list", action="store_true",
+                        help="list artifact ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    targets = list(EXPERIMENTS) if args.all else args.artifacts
+    if not targets:
+        parser.print_help()
+        return 2
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown artifacts: {unknown}", file=sys.stderr)
+        return 2
+    scale = SCALES[args.scale]
+    for target in targets:
+        fn = EXPERIMENTS[target]
+        start = time.time()
+        result = fn() if target in _NO_SCALE else fn(scale=scale)
+        print(format_experiment(result))
+        print(f"[{target} took {time.time() - start:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,401 @@
+"""One function per paper artifact: Figures 4-15 and Tables 4-5.
+
+Each function runs the sweep behind one figure/table and returns a
+structured dict with the measured series plus ``paper`` — the values the
+paper reports — so callers (benchmarks, EXPERIMENTS.md generation) can
+compare shapes.  Pass ``scale=SMOKE`` for quick runs, ``BENCH`` for the
+default benchmark fidelity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Optional
+
+from ..adt.mbt import MerkleBucketTree
+from ..adt.mpt import MerklePatriciaTrie
+from ..core.forecast import (REPORTED_THROUGHPUT, forecast, rank)
+from ..core.taxonomy import TABLE2
+from ..txn.ledger import envelope_size
+from ..txn.transaction import Transaction
+from .harness import BENCH, Scale, run_point, run_smallbank_point
+
+__all__ = [
+    "fig4_peak_throughput", "fig5_latency", "fig6_smallbank",
+    "fig7_cft_vs_bft", "fig8_latency_breakdown", "tab4_scaling",
+    "tab5_tidb_matrix", "fig9_skew", "fig10_opcount", "fig11_record_size",
+    "fig12_storage", "fig13_ads_overhead", "fig14_sharding",
+    "fig15_hybrid_forecast",
+]
+
+FOUR_SYSTEMS = ("fabric", "quorum", "tidb", "etcd")
+FIVE_SYSTEMS = FOUR_SYSTEMS + ("tikv",)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: peak YCSB throughput (update and query), 5 systems, log scale
+# ---------------------------------------------------------------------------
+
+def fig4_peak_throughput(scale: Scale = BENCH,
+                         systems: tuple = FIVE_SYSTEMS) -> dict:
+    paper = {
+        "update": {"fabric": 1294, "quorum": 245, "tidb": 5159,
+                   "etcd": 16781, "tikv": 13507},
+        "query": {"fabric": 23809, "quorum": 19166, "tidb": 87933,
+                  "etcd": 282192, "tikv": 94050},
+    }
+    measured = {"update": {}, "query": {}}
+    for mode in ("update", "query"):
+        for system in systems:
+            res = run_point(system, scale=scale, mode=mode,
+                            measure_txns=(scale.measure_txns * 3
+                                          if mode == "query" else None))
+            measured[mode][system] = res.tps
+    return {"id": "fig4", "measured": measured, "paper": paper}
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: unsaturated latency (update and query)
+# ---------------------------------------------------------------------------
+
+def fig5_latency(scale: Scale = BENCH,
+                 systems: tuple = FIVE_SYSTEMS) -> dict:
+    paper_ms = {
+        "update": {"fabric": 3500, "quorum": 500, "tidb": 100,
+                   "etcd": 100, "tikv": 100},
+        "query": {"fabric": 9, "quorum": 4, "tidb": 1,
+                  "etcd": 1, "tikv": 1},
+    }
+    measured = {"update": {}, "query": {}}
+    for mode in ("update", "query"):
+        for system in systems:
+            # unsaturated: a handful of closed-loop clients
+            res = run_point(system, scale=scale, mode=mode, clients=4,
+                            measure_txns=max(100, scale.measure_txns // 10))
+            measured[mode][system] = res.mean_latency * 1000.0
+    return {"id": "fig5", "measured_ms": measured, "paper_ms": paper_ms}
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: Smallbank throughput (skewed, theta=1)
+# ---------------------------------------------------------------------------
+
+def fig6_smallbank(scale: Scale = BENCH,
+                   num_accounts: Optional[int] = None) -> dict:
+    paper = {"fabric": 835, "quorum": 655, "tidb": 1031}
+    accounts = num_accounts if num_accounts is not None \
+        else max(scale.record_count * 5, 10_000)
+    measured = {}
+    for system in ("fabric", "quorum", "tidb"):
+        res = run_smallbank_point(system, scale=scale,
+                                  num_accounts=accounts)
+        measured[system] = res.tps
+    return {"id": "fig6", "measured": measured, "paper": paper}
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: Quorum Raft (CFT) vs IBFT (BFT) vs tolerated failures
+# ---------------------------------------------------------------------------
+
+def fig7_cft_vs_bft(scale: Scale = BENCH,
+                    failures: tuple = (1, 2, 3, 4, 5, 6),
+                    seeds: tuple = (0, 1, 2)) -> dict:
+    measured = {"raft": {}, "ibft": {}}
+    for f in failures:
+        for protocol, nodes in (("raft", 2 * f + 1), ("ibft", 3 * f + 1)):
+            samples = []
+            for seed in seeds:
+                res = run_point(
+                    "quorum", scale=scale, num_nodes=nodes, seed=seed,
+                    measure_txns=max(200, scale.measure_txns // 2),
+                    system_kwargs={"consensus": protocol})
+                samples.append(res.tps)
+            mean = sum(samples) / len(samples)
+            var = sum((s - mean) ** 2 for s in samples) / len(samples)
+            measured[protocol][f] = {"mean": mean, "std": var ** 0.5,
+                                     "samples": samples}
+    return {"id": "fig7", "measured": measured,
+            "paper": {"note": "both protocols flat at ~230-380 tps; "
+                              "IBFT variance grows with f"}}
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: latency breakdown (Fabric phases; TiDB query costs)
+# ---------------------------------------------------------------------------
+
+def fig8_latency_breakdown(scale: Scale = BENCH) -> dict:
+    out = {"id": "fig8", "paper": {
+        "fabric_unsaturated_ms": {"execute": 500, "order": 700,
+                                  "validate": 700},
+        "fabric_query_us": {"authentication": 4294, "simulation": 406,
+                            "endorsement": 59},
+        "tidb_query_us": {"sql-parse": 16, "sql-compile": 15,
+                          "storage-get": 275},
+    }}
+    # Fabric update, unsaturated vs saturated
+    res_unsat = run_point("fabric", scale=scale, clients=8,
+                          measure_txns=max(100, scale.measure_txns // 10))
+    res_sat = run_point("fabric", scale=scale)
+    out["fabric_unsaturated_ms"] = {
+        k: v * 1000 for k, v in res_unsat.phase_means().items()}
+    out["fabric_saturated_ms"] = {
+        k: v * 1000 for k, v in res_sat.phase_means().items()}
+    # Query breakdowns
+    res_fq = run_point("fabric", scale=scale, mode="query", clients=8,
+                       measure_txns=max(100, scale.measure_txns // 10))
+    out["fabric_query_us"] = {
+        k: v * 1e6 for k, v in res_fq.phase_means().items()}
+    res_tq = run_point("tidb", scale=scale, mode="query", clients=8,
+                       measure_txns=max(100, scale.measure_txns // 10))
+    out["tidb_query_us"] = {
+        k: v * 1e6 for k, v in res_tq.phase_means().items()}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Table 4: throughput vs number of nodes (full replication)
+# ---------------------------------------------------------------------------
+
+def tab4_scaling(scale: Scale = BENCH,
+                 node_counts: tuple = (3, 7, 11, 15, 19),
+                 systems: tuple = FOUR_SYSTEMS) -> dict:
+    paper = {
+        "fabric": {3: 1560, 7: 1288, 11: 1031, 15: 749, 19: 528},
+        "quorum": {3: 237, 7: 236, 11: 229, 15: 217, 19: 219},
+        "tidb": {3: 5697, 7: 7884, 11: 7544, 15: 6239, 19: 5526},
+        "etcd": {3: 19282, 7: 16453, 11: 11243, 15: 7801, 19: 6076},
+    }
+    measured = {s: {} for s in systems}
+    for system in systems:
+        for n in node_counts:
+            res = run_point(system, scale=scale, num_nodes=n)
+            measured[system][n] = res.tps
+    return {"id": "tab4", "measured": measured, "paper": paper}
+
+
+# ---------------------------------------------------------------------------
+# Table 5: TiDB servers x TiKV nodes matrix
+# ---------------------------------------------------------------------------
+
+def tab5_tidb_matrix(scale: Scale = BENCH,
+                     tidb_counts: tuple = (3, 7, 11, 15, 19),
+                     tikv_counts: tuple = (3, 7, 11, 15, 19)) -> dict:
+    paper = {
+        3: {3: 5697, 7: 8517, 11: 9116, 15: 8838, 19: 8690},
+        7: {3: 5951, 7: 7884, 11: 8539, 15: 8162, 19: 8246},
+        11: {3: 5847, 7: 6871, 11: 7544, 15: 6941, 19: 7429},
+        15: {3: 5121, 7: 5703, 11: 6306, 15: 6239, 19: 5618},
+        19: {3: 4198, 7: 5238, 11: 5477, 15: 5563, 19: 5526},
+    }
+    measured: dict = {}
+    for tidb_n in tidb_counts:
+        measured[tidb_n] = {}
+        for tikv_n in tikv_counts:
+            res = run_point(
+                "tidb", scale=scale, num_nodes=max(tidb_n, tikv_n),
+                clients=64 * max(1, tidb_n // 3),
+                system_kwargs={"tidb_servers": tidb_n,
+                               "tikv_nodes": tikv_n})
+            measured[tidb_n][tikv_n] = res.tps
+    return {"id": "tab5", "measured": measured, "paper": paper}
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: throughput + abort rate vs Zipf skew
+# ---------------------------------------------------------------------------
+
+def fig9_skew(scale: Scale = BENCH,
+              thetas: tuple = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+              systems: tuple = FOUR_SYSTEMS) -> dict:
+    paper = {
+        "tidb_tps": {0.0: 5461, 1.0: 173},
+        "fabric_abort_rate": {1.0: 0.44},
+        "tidb_abort_rate": {1.0: 0.30},
+        "note": "etcd and Quorum unaffected (serial execution)",
+    }
+    measured = {s: {"tps": {}, "abort_rate": {}} for s in systems}
+    for system in systems:
+        for theta in thetas:
+            res = run_point(system, scale=scale, theta=theta, mode="rmw")
+            measured[system]["tps"][theta] = res.tps
+            measured[system]["abort_rate"][theta] = res.abort_rate
+    return {"id": "fig9", "measured": measured, "paper": paper}
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: throughput + abort rate vs operations per transaction
+# ---------------------------------------------------------------------------
+
+def fig10_opcount(scale: Scale = BENCH,
+                  op_counts: tuple = (1, 2, 4, 6, 8, 10),
+                  systems: tuple = FOUR_SYSTEMS) -> dict:
+    paper = {
+        "tidb_relative_tps_at_10": 0.32,
+        "fabric_abort_rate_at_10": 0.87,
+        "tidb_abort_rate_at_10": 0.269,
+        "fabric_abort_split_at_10": {"inconsistent_read": 0.14,
+                                     "read_write_conflict": 0.86},
+    }
+    measured = {s: {"tps": {}, "abort_rate": {}, "abort_reasons": {}}
+                for s in systems}
+    for system in systems:
+        for ops in op_counts:
+            res = run_point(system, scale=scale, ops_per_txn=ops,
+                            mode="rmw", fix_total_size=True)
+            measured[system]["tps"][ops] = res.tps
+            measured[system]["abort_rate"][ops] = res.abort_rate
+            measured[system]["abort_reasons"][ops] = dict(
+                res.stats.abort_reasons)
+    return {"id": "fig10", "measured": measured, "paper": paper}
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: throughput + phase latency vs record size
+# ---------------------------------------------------------------------------
+
+def fig11_record_size(scale: Scale = BENCH,
+                      record_sizes: tuple = (10, 100, 1000, 5000),
+                      systems: tuple = FOUR_SYSTEMS) -> dict:
+    paper = {
+        "quorum_tps": {10: 1547, 1000: 245, 5000: 58},
+        "fabric_tps": {10: 1400, 1000: 1294, 5000: 700},
+        "note": "Quorum collapses with record size (MPT reconstruction); "
+                "Fabric roughly flat until 5000 B",
+    }
+    measured = {s: {"tps": {}, "phases_ms": {}} for s in systems}
+    for system in systems:
+        for size in record_sizes:
+            res = run_point(system, scale=scale, record_size=size)
+            measured[system]["tps"][size] = res.tps
+            measured[system]["phases_ms"][size] = {
+                k: v * 1000 for k, v in res.phase_means().items()}
+    return {"id": "fig11", "measured": measured, "paper": paper}
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: storage bytes per record (Fabric state+block vs TiDB)
+# ---------------------------------------------------------------------------
+
+def fig12_storage(record_sizes: tuple = (10, 100, 1000, 5000),
+                  records: int = 1000,
+                  endorsements: int = 3) -> dict:
+    paper = {
+        "fabric_block": {10: 6741, 100: 7020, 1000: 9723, 5000: 21725},
+        "tidb": {10: 59.8, 100: 150, 1000: 1050, 5000: 5050},
+    }
+    measured = {"fabric_state": {}, "fabric_block": {}, "tidb": {}}
+    for size in record_sizes:
+        value = os.urandom(size)
+        # Fabric block storage: one envelope per record insert.
+        txn = Transaction.write("user000000000001", value)
+        per_txn = envelope_size(txn, endorsements)
+        measured["fabric_block"][size] = per_txn + 96 / records
+        # Fabric state storage: the LevelDB key/value itself.
+        measured["fabric_state"][size] = size + 24  # key + version metadata
+        # TiDB: LSM entry (key + value + headers), no history kept.
+        measured["tidb"][size] = size + 50
+    return {"id": "fig12", "measured": measured, "paper": paper,
+            "records": records}
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: tamper-evidence overhead — MBT vs MPT bytes per record
+# ---------------------------------------------------------------------------
+
+def fig13_ads_overhead(record_sizes: tuple = (10, 100, 1000, 5000),
+                       records: int = 10_000) -> dict:
+    paper = {
+        "mbt": {10: 24, 100: 24, 1000: 47, 5000: 83},
+        "mpt": {10: 1080, 100: 1084, 1000: 1071, 5000: 1083},
+        "note": "paper reports total/record of 34/124/1024/5024 (MBT) and "
+                "1090/1184/2071/6083 (MPT); overhead = total - record",
+    }
+    measured = {"mbt": {}, "mpt": {}, "mbt_depth": None, "mpt_nodes": {}}
+    for size in record_sizes:
+        mbt = MerkleBucketTree(num_buckets=1000, fanout=4)
+        mpt = MerklePatriciaTrie()
+        for i in range(records):
+            key = hashlib.md5(f"rec{i}".encode()).digest()  # 16-byte keys
+            value = os.urandom(size)
+            mbt.put(key, value)
+            mpt.put(key, value)
+        mbt.commit()
+        measured["mbt"][size] = mbt.overhead_per_record(size)
+        total = mpt.store.total_bytes()
+        measured["mpt"][size] = (total - records * size) / records
+        measured["mpt_nodes"][size] = len(mpt.store)
+    measured["mbt_depth"] = MerkleBucketTree(1000, 4).depth
+    return {"id": "fig13", "measured": measured, "paper": paper,
+            "records": records}
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: sharded throughput (TiDB vs Spanner vs AHL)
+# ---------------------------------------------------------------------------
+
+def fig14_sharding(scale: Scale = BENCH,
+                   node_counts: tuple = (3, 12, 24, 36, 48),
+                   theta: float = 1.0) -> dict:
+    from ..sim.costs import DEFAULT_COSTS
+    # Shrink the reconfiguration epoch so several pauses land inside the
+    # measurement window (same 30% duty-cycle loss as the paper's setup).
+    reconfig_costs = DEFAULT_COSTS.derive(ahl_reconfig_period=3.0,
+                                          ahl_reconfig_pause=0.9)
+    paper = {"note": "TiDB > Spanner >> AHL(fixed) > AHL(reconfig, -30%); "
+                     "log-scale gap of 1-2 orders of magnitude"}
+    measured: dict = {"tidb": {}, "spanner": {}, "ahl_fixed": {},
+                      "ahl_reconfig": {}}
+    for n in node_counts:
+        shards = n // 3
+        res = run_point("tidb", scale=scale, num_nodes=max(3, shards),
+                        theta=theta, ops_per_txn=2, mode="rmw",
+                        system_kwargs={"tidb_servers": max(3, shards),
+                                       "tikv_nodes": max(3, shards),
+                                       "instant_abort": True})
+        measured["tidb"][n] = res.tps
+        res = run_point("spanner", scale=scale, num_nodes=n, theta=theta,
+                        ops_per_txn=2, mode="rmw")
+        measured["spanner"][n] = res.tps
+        for label, reconfig in (("ahl_fixed", False),
+                                ("ahl_reconfig", True)):
+            res = run_point(
+                "ahl", scale=scale, num_nodes=n, theta=theta,
+                ops_per_txn=2, mode="rmw",
+                measure_txns=max(800, scale.measure_txns // 2),
+                system_kwargs={"periodic_reconfig": reconfig},
+                costs=reconfig_costs if reconfig else None)
+            measured[label][n] = res.tps
+    return {"id": "fig14", "measured": measured, "paper": paper}
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: hybrid forecast vs reported and vs simulated
+# ---------------------------------------------------------------------------
+
+def fig15_hybrid_forecast(scale: Scale = BENCH,
+                          simulate: bool = True,
+                          num_nodes: int = 4) -> dict:
+    names = list(REPORTED_THROUGHPUT)
+    forecasts = {n: forecast(TABLE2[n]) for n in names}
+    out = {
+        "id": "fig15",
+        "forecast": {n: {"band": f.band.value, "score": f.score,
+                         "range": f.tps_range}
+                     for n, f in forecasts.items()},
+        "reported": dict(REPORTED_THROUGHPUT),
+        "ranking": [f.system for f in rank([TABLE2[n] for n in names])],
+    }
+    if simulate:
+        measured = {}
+        for name in names:
+            # PoW commits arrive in bursts of whole blocks: measure over
+            # many blocks or the tps estimate is meaningless.
+            res = run_point(
+                name, scale=scale, num_nodes=num_nodes,
+                measure_txns=(max(800, scale.measure_txns)
+                              if name == "blockchaindb"
+                              else scale.measure_txns))
+            measured[name] = res.tps
+        out["simulated"] = measured
+    return out

@@ -1,0 +1,133 @@
+"""Experiment harness: one-call runs of (system, workload, cluster) points.
+
+Every figure/table reproduction in :mod:`repro.bench.experiments` is a
+sweep over calls to :func:`run_point`.  A ``Scale`` bundles the knobs
+that trade fidelity for wall-clock time: tests use ``SMOKE``, the bench
+suite uses ``BENCH``, and ``PAPER`` approaches the paper's measurement
+sizes (minutes of wall-clock per point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..core.builder import build_system
+from ..sim.kernel import Environment
+from ..systems.base import SystemConfig
+from ..workloads.driver import DriverConfig, RunResult, run_closed_loop
+from ..workloads.smallbank import SmallbankConfig, SmallbankWorkload
+from ..workloads.ycsb import YcsbConfig, YcsbWorkload
+
+__all__ = ["Scale", "SMOKE", "BENCH", "PAPER", "run_point",
+           "run_smallbank_point"]
+
+#: Closed-loop client counts that saturate each system model.
+DEFAULT_CLIENTS = {
+    "etcd": 256, "tikv": 256, "tidb": 256, "quorum": 400, "fabric": 2000,
+    "spanner": 256, "ahl": 512,
+    "veritas": 256, "chainifydb": 256, "brd": 256, "bigchaindb": 512,
+    "falcondb": 256, "blockchaindb": 2048,
+}
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Measurement size (trading fidelity for wall-clock)."""
+
+    name: str
+    record_count: int
+    warmup_txns: int
+    measure_txns: int
+    max_sim_time: float
+    repeats: int = 1
+
+    def derive(self, **kw) -> "Scale":
+        return replace(self, **kw)
+
+
+SMOKE = Scale("smoke", record_count=2_000, warmup_txns=50,
+              measure_txns=300, max_sim_time=60.0)
+BENCH = Scale("bench", record_count=10_000, warmup_txns=300,
+              measure_txns=2_000, max_sim_time=180.0)
+PAPER = Scale("paper", record_count=100_000, warmup_txns=1_000,
+              measure_txns=10_000, max_sim_time=600.0, repeats=3)
+
+
+def run_point(
+    system: str,
+    scale: Scale = BENCH,
+    num_nodes: int = 5,
+    record_size: int = 1000,
+    theta: float = 0.0,
+    ops_per_txn: int = 1,
+    mode: str = "update",
+    fix_total_size: bool = False,
+    clients: Optional[int] = None,
+    seed: int = 0,
+    measure_txns: Optional[int] = None,
+    system_kwargs: Optional[dict] = None,
+    costs=None,
+) -> RunResult:
+    """Run one YCSB measurement point and return its :class:`RunResult`."""
+    env = Environment()
+    if costs is not None:
+        config = SystemConfig(num_nodes=num_nodes, seed=seed, costs=costs)
+    else:
+        config = SystemConfig(num_nodes=num_nodes, seed=seed)
+    sys_obj = build_system(env, system, config, **(system_kwargs or {}))
+    workload = YcsbWorkload(YcsbConfig(
+        record_count=scale.record_count,
+        record_size=record_size,
+        ops_per_txn=ops_per_txn,
+        theta=theta,
+        fix_total_size=fix_total_size,
+        seed=seed + 1,
+    ))
+    sys_obj.load(workload.initial_records())
+    maker = {"update": workload.next_update,
+             "query": workload.next_query,
+             "rmw": workload.next_rmw}[mode]
+    n_clients = clients if clients is not None \
+        else DEFAULT_CLIENTS.get(system, 256)
+    driver = DriverConfig(
+        clients=n_clients,
+        warmup_txns=scale.warmup_txns,
+        measure_txns=measure_txns if measure_txns is not None
+        else scale.measure_txns,
+        max_sim_time=scale.max_sim_time,
+        query_mode=(mode == "query"),
+    )
+    result = run_closed_loop(env, sys_obj, maker, driver)
+    result.extras["system"] = sys_obj
+    return result
+
+
+def run_smallbank_point(
+    system: str,
+    scale: Scale = BENCH,
+    num_nodes: int = 5,
+    num_accounts: int = 100_000,
+    theta: float = 1.0,
+    clients: Optional[int] = None,
+    seed: int = 0,
+    system_kwargs: Optional[dict] = None,
+) -> RunResult:
+    """Run one Smallbank measurement point (Fig. 6)."""
+    env = Environment()
+    config = SystemConfig(num_nodes=num_nodes, seed=seed)
+    sys_obj = build_system(env, system, config, **(system_kwargs or {}))
+    workload = SmallbankWorkload(SmallbankConfig(
+        num_accounts=num_accounts, theta=theta, seed=seed + 1))
+    sys_obj.load(workload.initial_records())
+    n_clients = clients if clients is not None \
+        else DEFAULT_CLIENTS.get(system, 256)
+    driver = DriverConfig(
+        clients=n_clients,
+        warmup_txns=scale.warmup_txns,
+        measure_txns=scale.measure_txns,
+        max_sim_time=scale.max_sim_time,
+    )
+    result = run_closed_loop(env, sys_obj, workload.next_transaction, driver)
+    result.extras["system"] = sys_obj
+    return result

@@ -1,0 +1,19 @@
+"""Concurrency control: serial, OCC (Fabric), 2PL (Spanner), percolator (TiDB)."""
+
+from .occ import OccSimulator, OccValidator, endorsements_consistent
+from .percolator import PercolatorStore, PrewriteConflict, TimestampOracle
+from .serial import SerialExecutor
+from .twopl import LockDenied, LockManager, LockMode
+
+__all__ = [
+    "LockDenied",
+    "LockManager",
+    "LockMode",
+    "OccSimulator",
+    "OccValidator",
+    "PercolatorStore",
+    "PrewriteConflict",
+    "SerialExecutor",
+    "TimestampOracle",
+    "endorsements_consistent",
+]

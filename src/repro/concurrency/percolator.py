@@ -1,0 +1,159 @@
+"""Percolator-style snapshot-isolation commit (TiDB's transaction layer).
+
+TiDB transactions read at a start timestamp, buffer writes, then run a
+two-phase commit over the storage: *prewrite* locks every written key
+(choosing one as the **primary lock**) and aborts on write-write conflict
+(a committed version newer than the start timestamp, or a live lock held
+by another transaction); *commit* installs the commit timestamp on the
+primary, which atomically decides the transaction, then asynchronously on
+the secondaries.
+
+The paper's Figure 9 finding — throughput collapsing 5461 -> 173 tps as
+skew grows while only 30% of transactions abort — comes from the latch on
+the primary record: the coordinator holds it across the prewrite+commit
+consensus writes, so hot keys serialize *waiting*, not just aborting.  The
+latch hold time is charged by the TiDB system model; this module supplies
+the lock table, conflict detection, and timestamp oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..txn.state import VersionedStore
+
+__all__ = ["TimestampOracle", "PercolatorStore", "PrewriteConflict"]
+
+
+class TimestampOracle:
+    """Monotonic timestamp allocator (TiDB's Placement Driver role)."""
+
+    def __init__(self):
+        self._ts = 0
+
+    def next(self) -> int:
+        self._ts += 1
+        return self._ts
+
+    @property
+    def current(self) -> int:
+        return self._ts
+
+
+@dataclass
+class PrewriteConflict(Exception):
+    """Write-write conflict or lock collision during prewrite."""
+
+    key: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"prewrite conflict on {self.key!r}: {self.reason}"
+
+
+@dataclass
+class _Lock:
+    txn_id: int
+    primary: str
+    start_ts: int
+
+
+class PercolatorStore:
+    """Versioned store + percolator lock column.
+
+    Versions in the underlying :class:`VersionedStore` are commit
+    timestamps, enabling snapshot reads and conflict checks.
+    """
+
+    def __init__(self, store: Optional[VersionedStore] = None):
+        self.store = store if store is not None else VersionedStore()
+        self._locks: dict[str, _Lock] = {}
+        # key -> latest commit_ts (the store's version doubles as this)
+        self.prewrites = 0
+        self.conflicts = 0
+
+    # -- reads ---------------------------------------------------------------
+
+    def snapshot_read(self, key: str, start_ts: int) -> tuple[Optional[bytes], int]:
+        """Read the latest version visible at ``start_ts``.
+
+        Single-version approximation: returns the current committed value
+        when its commit_ts <= start_ts; a concurrent newer commit surfaces
+        later as a prewrite conflict rather than a stale read.
+        """
+        value, version = self.store.get(key)
+        if version <= start_ts:
+            return value, version
+        return value, version  # read-committed fallback; conflict caught at prewrite
+
+    def is_locked(self, key: str) -> bool:
+        return key in self._locks
+
+    def lock_owner(self, key: str) -> Optional[int]:
+        lock = self._locks.get(key)
+        return lock.txn_id if lock else None
+
+    # -- prewrite -------------------------------------------------------------
+
+    def prewrite(self, txn_id: int, keys: list[str], primary: str,
+                 start_ts: int,
+                 read_versions: Optional[dict[str, int]] = None) -> None:
+        """Lock all written keys; raises :class:`PrewriteConflict`.
+
+        Checks, per key: (1) no committed version newer than start_ts
+        (write-write conflict), (2) no live lock from another transaction,
+        and (3) when ``read_versions`` is given, the key still holds the
+        version this transaction read — the backing store keeps a single
+        version, so this check substitutes for true snapshot reads and
+        preserves snapshot isolation (no lost updates through stale reads).
+        On failure all locks taken by this prewrite are rolled back.
+        """
+        if primary not in keys:
+            raise ValueError("primary must be one of the written keys")
+        read_versions = read_versions or {}
+        taken: list[str] = []
+        try:
+            for key in keys:
+                committed_ts = self.store.version(key)
+                if committed_ts > start_ts:
+                    self.conflicts += 1
+                    raise PrewriteConflict(key, "newer committed version")
+                seen = read_versions.get(key)
+                if seen is not None and committed_ts != seen:
+                    self.conflicts += 1
+                    raise PrewriteConflict(key, "read version superseded")
+                lock = self._locks.get(key)
+                if lock is not None and lock.txn_id != txn_id:
+                    self.conflicts += 1
+                    raise PrewriteConflict(key, f"locked by txn {lock.txn_id}")
+                self._locks[key] = _Lock(txn_id=txn_id, primary=primary,
+                                         start_ts=start_ts)
+                taken.append(key)
+            self.prewrites += 1
+        except PrewriteConflict:
+            for key in taken:
+                self._locks.pop(key, None)
+            raise
+
+    # -- commit / rollback ----------------------------------------------------------
+
+    def commit(self, txn_id: int, write_set: dict[str, bytes],
+               commit_ts: int) -> None:
+        """Install values at ``commit_ts`` and clear this txn's locks."""
+        for key, value in write_set.items():
+            lock = self._locks.get(key)
+            if lock is None or lock.txn_id != txn_id:
+                raise RuntimeError(
+                    f"commit without prewrite lock on {key!r}")
+            self.store.put(key, value, commit_ts)
+            del self._locks[key]
+
+    def rollback(self, txn_id: int, keys: list[str]) -> None:
+        for key in keys:
+            lock = self._locks.get(key)
+            if lock is not None and lock.txn_id == txn_id:
+                del self._locks[key]
+
+    def locked_keys(self) -> list[str]:
+        return list(self._locks)

@@ -1,0 +1,206 @@
+"""Proof-of-Work mining — simulated as an exponential race.
+
+A miner with fraction p of the total hash power finds the next block after
+an Exp(p / block_interval) delay; the first finder broadcasts and the rest
+restart on the new tip.  Two finders within a propagation delay create a
+fork; the longest chain wins, so a minority branch is eventually orphaned.
+This reproduces PoW's defining performance property for the paper's
+analysis: throughput bounded by ``block_size / block_interval`` regardless
+of cluster size, plus a fork/orphan rate that grows with propagation delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..sim.costs import CostModel, DEFAULT_COSTS
+from ..sim.kernel import Environment, Event
+from ..sim.network import Message, Network
+from ..sim.node import Node
+from ..sim.resources import Store
+from ..sim.rng import RngRegistry
+
+__all__ = ["PowConfig", "PowMiner", "PowNetwork"]
+
+
+@dataclass
+class PowConfig:
+    block_interval: float = 10.0      # expected time between blocks
+    max_block_txns: int = 500
+    confirmations: int = 1            # blocks buried before "committed"
+
+
+@dataclass
+class _PowBlock:
+    height: int
+    parent: tuple
+    miner: str
+    items: list
+    block_id: tuple = field(default=None)
+
+    def __post_init__(self):
+        if self.block_id is None:
+            self.block_id = (self.height, self.miner, id(self))
+
+
+class PowMiner:
+    """One mining node."""
+
+    def __init__(self, env: Environment, node: Node, peers: list[str],
+                 network: Network, hash_share: float,
+                 config: PowConfig, costs: CostModel = DEFAULT_COSTS,
+                 rng: Optional[RngRegistry] = None,
+                 shared_mempool: Optional[list] = None):
+        self.env = env
+        self.node = node
+        self.name = node.name
+        self.others = [p for p in peers if p != node.name]
+        self.network = network
+        self.hash_share = hash_share
+        self.config = config
+        self.costs = costs
+        self.rng = (rng or RngRegistry(0)).stream(f"pow:{self.name}")
+
+        genesis = _PowBlock(height=0, parent=None, miner="genesis", items=[],
+                            block_id=(0, "genesis", 0))
+        self.blocks: dict[tuple, _PowBlock] = {genesis.block_id: genesis}
+        self.tip: _PowBlock = genesis
+        # The mempool is gossiped network-wide in real PoW systems; miners
+        # share one pool so any winner includes pending transactions.
+        self.mempool: list[tuple[Any, Event]] = (
+            shared_mempool if shared_mempool is not None else [])
+        self.applied: Store = Store(env)
+        self._applied_height = 0
+        self.blocks_mined = 0
+        self.forks_seen = 0
+
+        self.inbox = node.subscribe("pow")
+        self._mining_epoch = 0
+        env.process(self._receiver(), name=f"pow-recv:{self.name}")
+        env.process(self._mine(), name=f"pow-mine:{self.name}")
+
+    def propose(self, item: Any, size: int = 256) -> Event:
+        """Add ``item`` to the mempool; fires once buried by confirmations."""
+        ev = self.env.event()
+        self.mempool.append((item, ev))
+        return ev
+
+    # -- mining -------------------------------------------------------------
+
+    def _mine(self):
+        while True:
+            mean = self.config.block_interval / max(self.hash_share, 1e-9)
+            delay = self.rng.expovariate(1.0 / mean)
+            yield self.env.timeout(delay)
+            if self.node.crashed:
+                continue
+            # By memorylessness, a solve firing now is a valid solve for
+            # whatever tip is current — no need to restart the draw when
+            # the tip changed mid-sleep (restarting would stretch the
+            # effective block interval).
+            self._found_block()
+
+    def _found_block(self) -> None:
+        taken = self.mempool[:self.config.max_block_txns]
+        del self.mempool[:len(taken)]
+        block = _PowBlock(
+            height=self.tip.height + 1,
+            parent=self.tip.block_id,
+            miner=self.name,
+            items=[(item, ev) for item, ev in taken],
+        )
+        self.blocks_mined += 1
+        self._adopt(block)
+        wire = _PowBlock(block.height, block.parent, block.miner,
+                         [item for item, _ev in taken], block.block_id)
+        for peer in self.others:
+            self.network.send(Message(
+                src=self.name, dst=peer, kind="pow",
+                payload=wire, size=512 + 300 * len(taken)))
+
+    def _receiver(self):
+        while True:
+            msg = yield self.inbox.get()
+            if self.node.crashed:
+                continue
+            block: _PowBlock = msg.payload
+            if block.block_id in self.blocks:
+                continue
+            local = _PowBlock(block.height, block.parent, block.miner,
+                              [(item, None) for item in block.items],
+                              block.block_id)
+            if local.height <= self.tip.height:
+                self.forks_seen += 1
+            self._adopt(local)
+
+    def _adopt(self, block: _PowBlock) -> None:
+        self.blocks[block.block_id] = block
+        # Longest-chain rule.
+        if block.height > self.tip.height:
+            self.tip = block
+            self._mining_epoch += 1
+            self._confirm()
+
+    def _confirm(self) -> None:
+        """Mark blocks buried by ``confirmations`` as final."""
+        target = self.tip.height - self.config.confirmations
+        chain = self._chain_to(self.tip)
+        while self._applied_height < target:
+            self._applied_height += 1
+            block = chain.get(self._applied_height)
+            if block is None:
+                continue
+            items = []
+            for item, ev in block.items:
+                items.append(item)
+                if ev is not None and not ev.triggered:
+                    ev.succeed((block.height, item))
+            self.applied.put((block.height, items))
+
+    def _chain_to(self, tip: _PowBlock) -> dict[int, _PowBlock]:
+        chain = {}
+        block = tip
+        while block is not None and block.parent is not None:
+            chain[block.height] = block
+            block = self.blocks.get(block.parent)
+        return chain
+
+    def main_chain_length(self) -> int:
+        return self.tip.height
+
+
+class PowNetwork:
+    """A set of miners with equal (or given) hash-power shares."""
+
+    def __init__(self, env: Environment, nodes: list[Node], network: Network,
+                 config: Optional[PowConfig] = None,
+                 costs: CostModel = DEFAULT_COSTS,
+                 rng: Optional[RngRegistry] = None,
+                 shares: Optional[list[float]] = None):
+        config = config or PowConfig()
+        names = [n.name for n in nodes]
+        if shares is None:
+            shares = [1.0 / len(nodes)] * len(nodes)
+        if abs(sum(shares) - 1.0) > 1e-9:
+            raise ValueError("hash shares must sum to 1")
+        self.shared_mempool: list = []
+        self.miners = {
+            node.name: PowMiner(env, node, names, network, share,
+                                config, costs, rng,
+                                shared_mempool=self.shared_mempool)
+            for node, share in zip(nodes, shares)
+        }
+        self.env = env
+
+    def propose(self, item: Any, size: int = 256) -> Event:
+        """Submit via the first live miner (gossip is instantaneous here)."""
+        for miner in self.miners.values():
+            if not miner.node.crashed:
+                return miner.propose(item, size)
+        ev = self.env.event()
+        ev.fail(RuntimeError("no live miners"))
+        return ev
+
+    def total_forks(self) -> int:
+        return sum(m.forks_seen for m in self.miners.values())

@@ -1,0 +1,115 @@
+"""Primary-backup replication via chain replication (Replex / H-Store row).
+
+The paper's Section 3.1.2 first approach: a dedicated primary orders
+writes and synchronizes backups.  Chain replication spreads network cost
+evenly along the chain (head -> ... -> tail); writes ack at the tail,
+reads are served by the tail.  Simpler and — with small state and no
+failures — faster than consensus; but failover is manual (no view change),
+which is exactly the contrast the paper draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..sim.costs import CostModel, DEFAULT_COSTS
+from ..sim.kernel import Environment, Event
+from ..sim.network import Message, Network
+from ..sim.node import Node
+from ..sim.resources import Store
+from ..sim.rng import RngRegistry
+
+__all__ = ["ChainReplication"]
+
+
+@dataclass
+class _ChainWrite:
+    seq: int
+    item: Any
+    size: int
+
+
+class ChainReplication:
+    """Head-to-tail chain replication over simulated nodes."""
+
+    def __init__(self, env: Environment, nodes: list[Node], network: Network,
+                 costs: CostModel = DEFAULT_COSTS,
+                 rng: Optional[RngRegistry] = None):
+        if not nodes:
+            raise ValueError("chain needs at least one node")
+        self.env = env
+        self.network = network
+        self.costs = costs
+        self.chain = [n.name for n in nodes]
+        self.nodes = {n.name: n for n in nodes}
+        self._seq = 0
+        self._waiters: dict[int, Event] = {}
+        # per-replica apply streams, in chain order
+        self.applied: dict[str, Store] = {n.name: Store(env) for n in nodes}
+        self.commits = 0
+        for node in nodes:
+            # Subscribe before any propose() can enqueue a message.
+            inbox = node.subscribe("chain")
+            env.process(self._relay(node, inbox), name=f"chain:{node.name}")
+
+    @property
+    def head(self) -> str:
+        return self.chain[0]
+
+    @property
+    def tail(self) -> str:
+        return self.chain[-1]
+
+    def _next_hop(self, name: str) -> Optional[str]:
+        idx = self.chain.index(name)
+        return self.chain[idx + 1] if idx + 1 < len(self.chain) else None
+
+    def propose(self, item: Any, size: int = 256) -> Event:
+        """Write at the head; the event fires when the tail has applied."""
+        ev = self.env.event()
+        head = self.nodes[self.head]
+        if head.crashed:
+            ev.fail(RuntimeError("head crashed; chain reconfiguration "
+                                 "requires manual intervention"))
+            return ev
+        self._seq += 1
+        write = _ChainWrite(seq=self._seq, item=item, size=size)
+        self._waiters[write.seq] = ev
+        head.enqueue(Message(src="client", dst=self.head, kind="chain",
+                             payload=write, size=size))
+        return ev
+
+    def _relay(self, node: Node, inbox):
+        while True:
+            msg = yield inbox.get()
+            if node.crashed:
+                continue
+            write: _ChainWrite = msg.payload
+            yield from node.compute(self.costs.store_put)
+            self.applied[node.name].put((write.seq, write.item))
+            nxt = self._next_hop(node.name)
+            if nxt is not None:
+                self.network.send(Message(src=node.name, dst=nxt,
+                                          kind="chain", payload=write,
+                                          size=write.size))
+            else:
+                # tail: acknowledge to the client
+                self.commits += 1
+                waiter = self._waiters.pop(write.seq, None)
+                if waiter is not None and not waiter.triggered:
+                    waiter.succeed((write.seq, write.item))
+
+    def read(self, _key: Any = None) -> Event:
+        """Linearizable read served by the tail."""
+        ev = self.env.event()
+        tail = self.nodes[self.tail]
+        if tail.crashed:
+            ev.fail(RuntimeError("tail crashed"))
+            return ev
+
+        def serve():
+            yield from tail.compute(self.costs.store_get)
+            ev.succeed(self.commits)
+        self.env.process(serve(), name="chain-read")
+        return ev

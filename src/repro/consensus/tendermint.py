@@ -1,0 +1,215 @@
+"""Tendermint consensus (Buchman) — rotating-proposer BFT.
+
+One block at a time: the proposer for height h is ``peers[h % N]``; the
+block goes through prevote and precommit all-to-all voting rounds, each
+requiring a 2f+1 quorum, before the height commits and the proposer
+rotates.  This no-pipelining, rotate-every-height structure is what makes
+Tendermint simpler but slower than pipelined PBFT — the performance trait
+the paper leans on when discussing BigchainDB and FalconDB (Table 2).
+
+Simplification vs the full protocol: the lock/unlock rule for Byzantine
+proposers is not modelled; round timeouts simply re-propose at the same
+height with the next proposer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..sim.costs import CostModel, DEFAULT_COSTS
+from ..sim.kernel import Environment, Event
+from ..sim.network import Message, Network
+from ..sim.node import Node
+from ..sim.resources import Store
+from ..sim.rng import RngRegistry
+
+__all__ = ["TendermintConfig", "TendermintReplica", "TendermintGroup"]
+
+
+@dataclass
+class TendermintConfig:
+    block_interval: float = 0.1
+    max_block_txns: int = 512
+    round_timeout: float = 1.0
+
+
+class TendermintReplica:
+    """One Tendermint validator."""
+
+    def __init__(self, env: Environment, node: Node, peers: list[str],
+                 network: Network, costs: CostModel = DEFAULT_COSTS,
+                 config: Optional[TendermintConfig] = None,
+                 rng: Optional[RngRegistry] = None):
+        self.env = env
+        self.node = node
+        self.name = node.name
+        self.all_peers = list(peers)
+        self.others = [p for p in peers if p != node.name]
+        self.n = len(peers)
+        self.f = (self.n - 1) // 3
+        self.network = network
+        self.costs = costs
+        self.config = config or TendermintConfig()
+        self.rng = (rng or RngRegistry(0)).stream(f"tm:{self.name}")
+
+        self.height = 1
+        self.round = 0
+        self.mempool: list[tuple[Any, Event]] = []
+        self._proposals: dict[int, list] = {}
+        self._prevotes: dict[tuple, set[str]] = {}
+        self._precommits: dict[tuple, set[str]] = {}
+        self._sent_prevote: set[tuple] = set()
+        self._sent_precommit: set[tuple] = set()
+        self.applied: Store = Store(env)
+        self.commits = 0
+        self.rounds_wasted = 0
+
+        self.inbox = node.subscribe("tm")
+        env.process(self._receiver(), name=f"tm-recv:{self.name}")
+        env.process(self._proposer_loop(), name=f"tm-prop:{self.name}")
+
+    @property
+    def quorum(self) -> int:
+        return 2 * self.f + 1
+
+    def proposer_for(self, height: int, round_: int = 0) -> str:
+        return self.all_peers[(height + round_) % self.n]
+
+    def propose(self, item: Any, size: int = 256) -> Event:
+        ev = self.env.event()
+        self.mempool.append((item, ev))
+        return ev
+
+    def _broadcast(self, mtype: str, payload: dict, size: int = 160) -> None:
+        for peer in self.others:
+            self.network.send(Message(
+                src=self.name, dst=peer, kind="tm",
+                payload={"type": mtype, **payload}, size=size))
+
+    # -- proposer --------------------------------------------------------------
+
+    def _proposer_loop(self):
+        while True:
+            height, round_ = self.height, self.round
+            if (self.proposer_for(height, round_) == self.name
+                    and not self.node.crashed):
+                yield self.env.timeout(self.config.block_interval)
+                if (self.height, self.round) != (height, round_):
+                    continue
+                batch = self.mempool[:self.config.max_block_txns]
+                del self.mempool[:len(batch)]
+                items = [item for item, _ev in batch]
+                self._proposals[height] = batch
+                yield from self.node.compute(
+                    self.costs.bft_message_auth * self.n)
+                self._broadcast("proposal", {
+                    "height": height, "round": round_, "items": items,
+                }, size=128 + sum(256 for _ in items))
+                self._cast_prevote(height, round_)
+            # Wait for the height to advance or the round to time out.
+            start = self.env.now
+            while (self.height, self.round) == (height, round_):
+                remaining = self.config.round_timeout - (self.env.now - start)
+                if remaining <= 0:
+                    self.rounds_wasted += 1
+                    self.round += 1
+                    break
+                yield self.env.timeout(min(remaining,
+                                           self.config.block_interval))
+
+    # -- voting ----------------------------------------------------------------
+
+    def _receiver(self):
+        while True:
+            msg = yield self.inbox.get()
+            if self.node.crashed:
+                continue
+            yield from self.node.compute(self.costs.bft_message_auth)
+            payload = msg.payload
+            mtype = payload["type"]
+            height = payload["height"]
+            if height < self.height:
+                continue
+            if mtype == "proposal":
+                self._proposals.setdefault(
+                    height, [(item, None) for item in payload["items"]])
+                self._cast_prevote(height, payload["round"])
+            elif mtype == "prevote":
+                key = (height, payload["round"])
+                votes = self._prevotes.setdefault(key, set())
+                votes.add(msg.src)
+                self._maybe_precommit(height, payload["round"])
+            elif mtype == "precommit":
+                key = (height, payload["round"])
+                votes = self._precommits.setdefault(key, set())
+                votes.add(msg.src)
+                self._maybe_commit(height, payload["round"])
+
+    def _cast_prevote(self, height: int, round_: int) -> None:
+        key = (height, round_)
+        if key in self._sent_prevote:
+            return
+        self._sent_prevote.add(key)
+        self._broadcast("prevote", {"height": height, "round": round_},
+                        size=128)
+        self._prevotes.setdefault(key, set()).add(self.name)
+        self._maybe_precommit(height, round_)
+
+    def _maybe_precommit(self, height: int, round_: int) -> None:
+        key = (height, round_)
+        if key in self._sent_precommit:
+            return
+        if len(self._prevotes.get(key, ())) >= self.quorum:
+            self._sent_precommit.add(key)
+            self._broadcast("precommit", {"height": height, "round": round_},
+                            size=128)
+            self._precommits.setdefault(key, set()).add(self.name)
+            self._maybe_commit(height, round_)
+
+    def _maybe_commit(self, height: int, round_: int) -> None:
+        if height != self.height:
+            return
+        key = (height, round_)
+        if len(self._precommits.get(key, ())) >= self.quorum:
+            batch = self._proposals.pop(height, [])
+            self.height += 1
+            self.round = 0
+            self.commits += 1
+            items = []
+            for item, ev in batch:
+                items.append(item)
+                if ev is not None and not ev.triggered:
+                    ev.succeed((height, item))
+            self.applied.put((height, items))
+
+
+class TendermintGroup:
+    """A Tendermint validator set."""
+
+    def __init__(self, env: Environment, nodes: list[Node], network: Network,
+                 costs: CostModel = DEFAULT_COSTS,
+                 config: Optional[TendermintConfig] = None,
+                 rng: Optional[RngRegistry] = None):
+        self.env = env
+        names = [n.name for n in nodes]
+        self.replicas = {
+            n.name: TendermintReplica(env, n, names, network, costs,
+                                      config, rng)
+            for n in nodes
+        }
+
+    def propose(self, item: Any, size: int = 256) -> Event:
+        """Submit to the proposer of the current height (gossip shortcut)."""
+        height = max(r.height for r in self.replicas.values())
+        for replica in self.replicas.values():
+            if (replica.proposer_for(height, replica.round) == replica.name
+                    and not replica.node.crashed):
+                return replica.propose(item, size)
+        # fall back to any live replica's mempool
+        for replica in self.replicas.values():
+            if not replica.node.crashed:
+                return replica.propose(item, size)
+        ev = self.env.event()
+        ev.fail(RuntimeError("no live validators"))
+        return ev

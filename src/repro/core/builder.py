@@ -1,0 +1,93 @@
+"""Build a runnable simulated system from a taxonomy position.
+
+The constructive entry point of the fusion framework: pass a Table 2 name
+(or a custom :class:`SystemProfile`) and get back a simulated
+:class:`repro.systems.base.TransactionalSystem`.  The four systems the
+paper benchmarks map to their dedicated high-fidelity models; everything
+else is composed by :class:`repro.systems.hybrids.HybridSystem` from the
+same substrates.
+
+>>> env = Environment()
+>>> system = build_system(env, "etcd")          # dedicated model
+>>> system = build_system(env, "veritas")       # composed hybrid
+>>> system = build_system(env, custom_profile)  # your own design point
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..sim.kernel import Environment
+from ..systems.base import SystemConfig, TransactionalSystem
+from .taxonomy import SystemProfile, profile as lookup_profile
+
+__all__ = ["build_system", "DEDICATED_MODELS"]
+
+
+def _dedicated_models() -> dict:
+    # Imported lazily: systems.hybrids itself imports core.taxonomy, so a
+    # module-level import here would close an import cycle.
+    from ..systems.ahl import AhlSystem
+    from ..systems.etcd import EtcdSystem
+    from ..systems.fabric import FabricSystem
+    from ..systems.quorum import QuorumSystem
+    from ..systems.spanner import SpannerSystem
+    from ..systems.tidb import TiDBSystem
+    from ..systems.tikv import TikvSystem
+    return {
+        "ahl": AhlSystem,
+        "etcd": EtcdSystem,
+        "fabric": FabricSystem,
+        "quorum": QuorumSystem,
+        "spanner": SpannerSystem,
+        "tidb": TiDBSystem,
+        "tikv": TikvSystem,
+    }
+
+
+class _LazyModels(dict):
+    """Mapping of dedicated models, resolved on first access."""
+
+    def _ensure(self):
+        if not self:
+            self.update(_dedicated_models())
+
+    def __getitem__(self, key):
+        self._ensure()
+        return super().__getitem__(key)
+
+    def get(self, key, default=None):
+        self._ensure()
+        return super().get(key, default)
+
+    def __contains__(self, key):
+        self._ensure()
+        return super().__contains__(key)
+
+    def __iter__(self):
+        self._ensure()
+        return super().__iter__()
+
+
+DEDICATED_MODELS = _LazyModels()
+
+
+def build_system(env: Environment,
+                 target: Union[str, SystemProfile],
+                 config: Optional[SystemConfig] = None,
+                 **kwargs) -> TransactionalSystem:
+    """Instantiate a simulated system for ``target``.
+
+    ``target`` is a Table 2 name or a custom :class:`SystemProfile`.
+    ``kwargs`` are forwarded to the concrete model (e.g.
+    ``consensus="ibft"`` for Quorum, ``spec={...}`` for hybrids).
+    """
+    from ..systems.hybrids import HybridSystem
+    if isinstance(target, SystemProfile):
+        return HybridSystem(env, target, config, kwargs.get("spec"))
+    name = target.lower()
+    model = DEDICATED_MODELS.get(name)
+    if model is not None:
+        return model(env, config, **kwargs)
+    return HybridSystem(env, lookup_profile(name), config,
+                        kwargs.get("spec"))

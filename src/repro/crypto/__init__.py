@@ -1,0 +1,16 @@
+"""Cryptographic primitives: real SHA-256 digests, modelled signatures."""
+
+from .hashing import HASH_SIZE, NULL_HASH, hash_concat, hash_pair, sha256
+from .signatures import KeyPair, Signature, sign, verify
+
+__all__ = [
+    "HASH_SIZE",
+    "NULL_HASH",
+    "KeyPair",
+    "Signature",
+    "hash_concat",
+    "hash_pair",
+    "sha256",
+    "sign",
+    "verify",
+]

@@ -1,0 +1,36 @@
+"""Real cryptographic digests used by ledgers and authenticated structures.
+
+Digests are computed with genuine SHA-256 so hash pointers, Merkle roots and
+integrity proofs are real and verifiable; only the *time* charged for
+hashing inside the simulator comes from the cost model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["sha256", "hash_pair", "hash_concat", "HASH_SIZE", "NULL_HASH"]
+
+HASH_SIZE = 32
+NULL_HASH = b"\x00" * HASH_SIZE
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest of ``data``."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError(f"sha256 expects bytes, got {type(data).__name__}")
+    return hashlib.sha256(data).digest()
+
+
+def hash_pair(left: bytes, right: bytes) -> bytes:
+    """Digest of two child hashes (Merkle interior node)."""
+    return hashlib.sha256(left + right).digest()
+
+
+def hash_concat(*parts: bytes) -> bytes:
+    """Digest of a length-prefixed concatenation (unambiguous encoding)."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(len(part).to_bytes(4, "big"))
+        h.update(part)
+    return h.digest()

@@ -1,0 +1,25 @@
+"""Sharding: partitioning, 2PC, BFT 2PC, shard formation."""
+
+from .bft2pc import BftCoordinator
+from .formation import (FormationMethod, ReconfigurationSchedule,
+                        ShardFormation, min_shard_size,
+                        shard_failure_probability)
+from .partitioner import (HashPartitioner, RangePartitioner,
+                          WorkloadAwarePartitioner)
+from .twopc import Decision, Participant, TwoPhaseCoordinator, Vote
+
+__all__ = [
+    "BftCoordinator",
+    "Decision",
+    "FormationMethod",
+    "HashPartitioner",
+    "Participant",
+    "RangePartitioner",
+    "ReconfigurationSchedule",
+    "ShardFormation",
+    "TwoPhaseCoordinator",
+    "Vote",
+    "WorkloadAwarePartitioner",
+    "min_shard_size",
+    "shard_failure_probability",
+]

@@ -1,0 +1,106 @@
+"""Two-phase commit with a trusted coordinator (the database answer).
+
+Section 3.4.2: cross-shard atomicity in databases uses 2PC driven by a
+dedicated, *trusted* coordinator — which may fail and block the
+transaction, the weakness BFT 2PC addresses on the blockchain side.
+
+Participants implement ``prepare``/``commit``/``abort`` as simulated
+calls returning kernel events; the coordinator sequences the two phases
+and reports the decision.  A coordinator crash between phases leaves
+participants prepared-and-blocked, which the tests assert explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Protocol
+
+from ..sim.kernel import Environment, Event
+
+__all__ = ["Vote", "Decision", "Participant", "TwoPhaseCoordinator"]
+
+
+class Vote(Enum):
+    YES = "yes"
+    NO = "no"
+
+
+class Decision(Enum):
+    COMMIT = "commit"
+    ABORT = "abort"
+    BLOCKED = "blocked"   # coordinator died mid-protocol
+
+
+class Participant(Protocol):
+    """A shard taking part in a distributed transaction."""
+
+    def prepare(self, txn_id: int, payload: dict) -> Event:
+        """Vote event: fires with Vote.YES/NO once the shard is prepared."""
+
+    def finalize(self, txn_id: int, decision: "Decision") -> Event:
+        """Apply the coordinator's decision; fires when durable."""
+
+
+@dataclass
+class TwoPcStats:
+    started: int = 0
+    committed: int = 0
+    aborted: int = 0
+    blocked: int = 0
+    prepared_blocked_participants: list = field(default_factory=list)
+
+
+class TwoPhaseCoordinator:
+    """A trusted (crash-prone) 2PC coordinator."""
+
+    def __init__(self, env: Environment, extra_phase_delay: float = 0.0):
+        self.env = env
+        self.extra_phase_delay = extra_phase_delay
+        self.crashed = False
+        self.stats = TwoPcStats()
+
+    def crash(self) -> None:
+        """Crash the coordinator; in-flight transactions block."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        self.crashed = False
+
+    def run(self, txn_id: int, participants: list[Participant],
+            payload: Optional[dict] = None) -> Event:
+        """Drive 2PC; the returned event fires with a :class:`Decision`."""
+        done = self.env.event()
+        self.env.process(self._protocol(txn_id, participants,
+                                        payload or {}, done),
+                         name=f"2pc:{txn_id}")
+        return done
+
+    def _protocol(self, txn_id: int, participants: list[Participant],
+                  payload: dict, done: Event):
+        self.stats.started += 1
+        if self.crashed:
+            self.stats.blocked += 1
+            done.succeed(Decision.BLOCKED)
+            return
+        # Phase 1: prepare
+        vote_events = [p.prepare(txn_id, payload) for p in participants]
+        votes = yield self.env.all_of(vote_events)
+        if self.extra_phase_delay:
+            yield self.env.timeout(self.extra_phase_delay)
+        if self.crashed:
+            # Participants voted and hold locks; nobody can decide.
+            self.stats.blocked += 1
+            self.stats.prepared_blocked_participants.extend(participants)
+            done.succeed(Decision.BLOCKED)
+            return
+        decision = (Decision.COMMIT if all(v is Vote.YES for v in votes)
+                    else Decision.ABORT)
+        # Phase 2: commit/abort
+        acks = [p.finalize(txn_id, decision) for p in participants]
+        yield self.env.all_of(acks)
+        if decision is Decision.COMMIT:
+            self.stats.committed += 1
+        else:
+            self.stats.aborted += 1
+        done.succeed(decision)

@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate (kernel, network, nodes, costs)."""
+
+from .costs import DEFAULT_COSTS, CostModel
+from .kernel import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
+from .metrics import LatencyRecorder, ThroughputMeter, TxnStats, percentile
+from .network import Message, Network
+from .node import Node
+from .resources import Resource, Store
+from .rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "LatencyRecorder",
+    "Message",
+    "Network",
+    "Node",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Store",
+    "ThroughputMeter",
+    "Timeout",
+    "TxnStats",
+    "percentile",
+]

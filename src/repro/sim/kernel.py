@@ -1,0 +1,366 @@
+"""Discrete-event simulation kernel.
+
+A dependency-free, SimPy-flavoured event loop.  Simulated components are
+generator coroutines ("processes") that ``yield`` events; the kernel resumes
+each process when the event it waits on fires.  Time is a float in simulated
+seconds, and a run is fully deterministic for a given seed (randomness comes
+only from :mod:`repro.sim.rng` streams, never from the kernel itself).
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def worker(env, name):
+...     yield env.timeout(1.0)
+...     log.append((env.now, name))
+>>> _ = env.process(worker(env, "a"))
+>>> _ = env.process(worker(env, "b"))
+>>> env.run()
+>>> log
+[(1.0, 'a'), (1.0, 'b')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the kernel (e.g. running a finished process)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupt ``cause`` is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* at most once, either successfully (with a
+    ``value``) or with a failure exception that propagates into waiters.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_scheduled")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters will see it raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation.
+
+    It only becomes *triggered* when the clock reaches its due time — a
+    pending timeout inside ``AnyOf``/``AllOf`` does not count as occurred.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    A process is itself an event: it triggers when the generator returns
+    (with the generator's return value) or raises (with the exception).
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Bootstrap: resume once at the current time.
+        init = Event(env)
+        init._triggered = True
+        init.callbacks = None
+        env._schedule_call(self._resume, init)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        fake = Event(self.env)
+        fake._triggered = True
+        fake._ok = False
+        fake._value = Interrupt(cause)
+        fake.callbacks = None
+        self.env._schedule_call(self._resume, fake)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._target = None
+        try:
+            if event._ok:
+                nxt = self.generator.send(event._value)
+            else:
+                exc = event._value
+                nxt = self.generator.throw(exc)
+        except StopIteration as stop:
+            self._triggered = True
+            self._ok = True
+            self._value = stop.value
+            self.env._schedule(self)
+            return
+        except BaseException as exc:  # propagate into waiters, or crash the run
+            self._triggered = True
+            self._ok = False
+            self._value = exc
+            if self.callbacks:
+                self.env._schedule(self)
+            else:
+                self.callbacks = None
+                raise
+            return
+        if not isinstance(nxt, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event: {nxt!r}"
+            )
+        self._target = nxt
+        if nxt.callbacks is None:
+            # Already processed: resume immediately (same timestep).
+            self.env._schedule_call(self._resume, nxt)
+        else:
+            nxt.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._pending = 0
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                self._pending += 1
+                ev.callbacks.append(self._check)
+        self._post_init()
+
+    def _post_init(self) -> None:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every component event has triggered.
+
+    Its value is the list of component values, in the order given.
+    """
+
+    __slots__ = ()
+
+    def _post_init(self) -> None:
+        if not self._triggered and self._pending == 0:
+            self.succeed([ev._value for ev in self.events])
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending <= 0 and all(ev._triggered for ev in self.events):
+            self.succeed([ev._value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Triggers when the first component event triggers.
+
+    Its value is that first event's value.
+    """
+
+    __slots__ = ()
+
+    def _post_init(self) -> None:
+        for ev in self.events:
+            if ev._triggered and not self._triggered:
+                if ev._ok:
+                    self.succeed(ev._value)
+                else:
+                    self.fail(ev._value)
+                return
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+
+class Environment:
+    """The simulation clock and scheduler."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self.now: float = initial_time
+        self._queue: list[tuple[float, int, int, Callable, Any]] = []
+        self._seq = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self.now + delay, 0, self._seq, self._dispatch, event)
+        )
+
+    def _schedule_call(self, func: Callable, arg: Any, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, 1, self._seq, func, arg))
+
+    @staticmethod
+    def _dispatch(event: Event) -> None:
+        event._triggered = True  # Timeouts trigger at their due time.
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+    # -- public API -------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``."""
+        queue = self._queue
+        if until is not None:
+            if until < self.now:
+                raise SimulationError(
+                    f"run(until={until}) is in the past (now={self.now})"
+                )
+            while queue:
+                when, _prio, _seq, func, arg = queue[0]
+                if when > until:
+                    break
+                heapq.heappop(queue)
+                self.now = when
+                func(arg)
+            self.now = until
+        else:
+            while queue:
+                when, _prio, _seq, func, arg = heapq.heappop(queue)
+                self.now = when
+                func(arg)
+
+    def step(self) -> None:
+        """Process a single scheduled callback (mostly for tests)."""
+        if not self._queue:
+            raise SimulationError("empty schedule")
+        when, _prio, _seq, func, arg = heapq.heappop(self._queue)
+        self.now = when
+        func(arg)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,117 @@
+"""Measurement utilities: latency recorders, throughput meters, counters.
+
+These are what the benchmark harness reads after a run; they deliberately
+mirror what Caliper / YCSB / OLTPBench report (throughput in tps, average
+and percentile latency, abort counts by reason).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["LatencyRecorder", "ThroughputMeter", "TxnStats", "percentile"]
+
+
+def percentile(sorted_values: list[float], p: float) -> float:
+    """Nearest-rank percentile of an already-sorted list (p in [0, 100])."""
+    if not sorted_values:
+        raise ValueError("percentile of empty list")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile out of range: {p}")
+    k = max(0, math.ceil(p / 100 * len(sorted_values)) - 1)
+    return sorted_values[k]
+
+
+class LatencyRecorder:
+    """Accumulates per-operation latencies (simulated seconds)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: list[float] = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        self.samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def pct(self, p: float) -> float:
+        if not self.samples:
+            return 0.0
+        return percentile(sorted(self.samples), p)
+
+    @property
+    def max(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+
+class ThroughputMeter:
+    """Counts completions over a measurement window.
+
+    ``start()`` marks the beginning of the measured interval (so warm-up
+    completions are excluded), ``mark()`` counts one completion, and
+    ``tps(now)`` reports the rate.
+    """
+
+    def __init__(self):
+        self.started_at: Optional[float] = None
+        self.completed = 0
+        self.completed_before_start = 0
+
+    def start(self, now: float) -> None:
+        self.started_at = now
+        self.completed_before_start += self.completed
+        self.completed = 0
+
+    def mark(self) -> None:
+        self.completed += 1
+
+    def tps(self, now: float) -> float:
+        if self.started_at is None:
+            raise RuntimeError("ThroughputMeter.start() was never called")
+        elapsed = now - self.started_at
+        return self.completed / elapsed if elapsed > 0 else 0.0
+
+
+@dataclass
+class TxnStats:
+    """Aggregate transaction outcome statistics for one run."""
+
+    committed: int = 0
+    aborted: int = 0
+    abort_reasons: Counter = field(default_factory=Counter)
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    phase_latency: dict[str, LatencyRecorder] = field(default_factory=dict)
+
+    def commit(self, latency: float) -> None:
+        self.committed += 1
+        self.latency.record(latency)
+
+    def abort(self, reason: str) -> None:
+        self.aborted += 1
+        self.abort_reasons[reason] += 1
+
+    def record_phase(self, phase: str, latency: float) -> None:
+        rec = self.phase_latency.get(phase)
+        if rec is None:
+            rec = LatencyRecorder(phase)
+            self.phase_latency[phase] = rec
+        rec.record(latency)
+
+    @property
+    def total(self) -> int:
+        return self.committed + self.aborted
+
+    @property
+    def abort_rate(self) -> float:
+        return self.aborted / self.total if self.total else 0.0

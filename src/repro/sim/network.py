@@ -1,0 +1,128 @@
+"""Simulated message-passing network.
+
+Models a switched LAN: each node owns an egress NIC (a serial resource, so a
+leader broadcasting to N-1 followers pays per-follower serialization — the
+O(N) leader cost the paper attributes to consensus), messages then spend a
+propagation delay in flight and land in the destination mailbox.
+
+Supports fault injection: network partitions, per-link drops, and crashed
+destinations silently discarding traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .costs import CostModel, DEFAULT_COSTS
+from .kernel import Environment
+from .rng import RngRegistry
+
+__all__ = ["Message", "Network"]
+
+_msg_counter = itertools.count()
+
+
+@dataclass
+class Message:
+    """A network message between simulated nodes."""
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any = None
+    size: int = 256
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    sent_at: float = 0.0
+
+
+class Network:
+    """Connects :class:`repro.sim.node.Node` objects."""
+
+    def __init__(
+        self,
+        env: Environment,
+        costs: CostModel = DEFAULT_COSTS,
+        rng: Optional[RngRegistry] = None,
+        jitter: float = 0.0,
+    ):
+        self.env = env
+        self.costs = costs
+        self.rng = (rng or RngRegistry(0)).stream("network")
+        self.jitter = jitter
+        self.nodes: dict[str, "Any"] = {}
+        self._partitions: list[tuple[frozenset[str], frozenset[str]]] = []
+        self._drop_rate: dict[tuple[str, str], float] = {}
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # -- topology ---------------------------------------------------------
+
+    def attach(self, node: Any) -> None:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+
+    def partition(self, group_a: set[str], group_b: set[str]) -> None:
+        """Disconnect ``group_a`` from ``group_b`` (both directions)."""
+        self._partitions.append((frozenset(group_a), frozenset(group_b)))
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._partitions.clear()
+
+    def set_drop_rate(self, src: str, dst: str, rate: float) -> None:
+        self._drop_rate[(src, dst)] = rate
+
+    def _severed(self, src: str, dst: str) -> bool:
+        for a, b in self._partitions:
+            if (src in a and dst in b) or (src in b and dst in a):
+                return True
+        return False
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        """Fire-and-forget asynchronous send (spawns a delivery process)."""
+        self.env.process(self._deliver(msg), name=f"net:{msg.kind}")
+
+    def _deliver(self, msg: Message):
+        src = self.nodes.get(msg.src)
+        dst = self.nodes.get(msg.dst)
+        if src is None or dst is None:
+            raise KeyError(f"unknown endpoint in {msg.src!r}->{msg.dst!r}")
+        msg.sent_at = self.env.now
+        self.messages_sent += 1
+        self.bytes_sent += msg.size
+        # Egress: sender CPU overhead + wire serialization, serialized
+        # through the source NIC.
+        cost = self.costs.net_send_overhead + self.costs.transfer_time(msg.size)
+        yield from src.nic_out.serve(cost)
+        if src.crashed:
+            self.messages_dropped += 1
+            return
+        if self._severed(msg.src, msg.dst):
+            self.messages_dropped += 1
+            return
+        rate = self._drop_rate.get((msg.src, msg.dst), 0.0)
+        if rate > 0 and self.rng.random() < rate:
+            self.messages_dropped += 1
+            return
+        delay = self.costs.net_latency
+        if self.jitter > 0:
+            delay += self.rng.expovariate(1.0 / self.jitter)
+        yield self.env.timeout(delay)
+        if dst.crashed:
+            self.messages_dropped += 1
+            return
+        dst.enqueue(msg)
+
+    def broadcast(self, src: str, dsts: list[str], kind: str, payload: Any,
+                  size: int = 256) -> None:
+        """Send the same payload to every destination (separate messages)."""
+        for dst in dsts:
+            if dst != src:
+                self.send(Message(src=src, dst=dst, kind=kind,
+                                  payload=payload, size=size))

@@ -1,0 +1,85 @@
+"""Simulated cluster node: CPU cores, egress NIC, disk, mailbox.
+
+A node is a passive container of resources; protocol roles (Raft replica,
+Fabric peer, ...) are processes that run "on" a node by consuming its
+resources and reading its mailbox.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .costs import CostModel, DEFAULT_COSTS
+from .kernel import Environment, Event
+from .network import Message
+from .resources import Resource, Store
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A machine in the simulated cluster (paper: Xeon E5-1650, 32 GB)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        cores: int = 6,
+        costs: CostModel = DEFAULT_COSTS,
+        nic_capacity: int = 1,
+    ):
+        self.env = env
+        self.name = name
+        self.costs = costs
+        self.cpu = Resource(env, capacity=cores)
+        # nic_capacity > 1 models an aggregate of machines (e.g. the pool
+        # of benchmark-client hosts the paper drives load from).
+        self.nic_out = Resource(env, capacity=nic_capacity)
+        self.disk = Resource(env, capacity=1)
+        self.mailbox: Store = Store(env)
+        self._subscribers: dict[str, Store] = {}
+        self.crashed = False
+
+    # -- messaging --------------------------------------------------------
+
+    def enqueue(self, msg: Message) -> None:
+        """Called by the network on delivery; routes to kind subscribers."""
+        box = self._subscribers.get(msg.kind)
+        if box is not None:
+            box.put(msg)
+        else:
+            self.mailbox.put(msg)
+
+    def subscribe(self, kind: str) -> Store:
+        """Return a dedicated inbox receiving only messages of ``kind``."""
+        box = self._subscribers.get(kind)
+        if box is None:
+            box = Store(self.env)
+            self._subscribers[kind] = box
+        return box
+
+    def receive(self) -> Event:
+        """Event yielding the next unrouted message."""
+        return self.mailbox.get()
+
+    # -- resource helpers -------------------------------------------------
+
+    def compute(self, service_time: float) -> Generator[Event, Any, None]:
+        """Occupy one CPU core for ``service_time``."""
+        yield from self.cpu.serve(service_time)
+
+    def disk_write(self, service_time: float) -> Generator[Event, Any, None]:
+        yield from self.disk.serve(service_time)
+
+    # -- failure injection ------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash-stop: in-flight and future traffic to/from is dropped."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        self.crashed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "crashed" if self.crashed else "up"
+        return f"<Node {self.name} ({state})>"

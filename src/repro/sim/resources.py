@@ -1,0 +1,128 @@
+"""Shared resources for simulated processes.
+
+``Resource`` models a capacity-limited server (a CPU core pool, a disk);
+``Store`` models an unbounded FIFO queue between producers and consumers
+(a mailbox, a replication stream).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from .kernel import Environment, Event
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A FIFO resource with integer capacity.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release(req)
+
+    or, equivalently, ``yield from resource.serve(service_time)``.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiting: Deque[Event] = deque()
+        # instrumentation
+        self.total_requests = 0
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
+
+    def request(self) -> Event:
+        """Return an event that fires once a slot is granted."""
+        self.total_requests += 1
+        req = self.env.event()
+        if self.in_use < self.capacity:
+            self._grant(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def _grant(self, req: Event) -> None:
+        if self.in_use == 0:
+            self._busy_since = self.env.now
+        self.in_use += 1
+        req.succeed(req)
+
+    def release(self, req: Event) -> None:
+        """Release a previously granted slot."""
+        self.in_use -= 1
+        if self.in_use < 0:
+            raise RuntimeError("release() without matching request()")
+        if self.in_use == 0 and self._busy_since is not None:
+            self.busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+        while self._waiting and self.in_use < self.capacity:
+            nxt = self._waiting.popleft()
+            self._grant(nxt)
+
+    def serve(self, service_time: float) -> Generator[Event, Any, None]:
+        """Acquire a slot, hold it for ``service_time``, release it."""
+        req = self.request()
+        yield req
+        try:
+            yield self.env.timeout(service_time)
+        finally:
+            self.release(req)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time the resource was busy (any slot occupied)."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.env.now - self._busy_since
+        span = elapsed if elapsed is not None else self.env.now
+        return busy / span if span > 0 else 0.0
+
+
+class Store:
+    """An unbounded FIFO channel of items.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the next
+    item (immediately if one is queued).
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = self.env.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def get_all(self) -> list[Any]:
+        """Drain and return all currently queued items without waiting."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,35 @@
+"""Deterministic random-number streams.
+
+Every stochastic component draws from its own named stream derived from a
+single experiment seed, so adding a new component never perturbs the draws
+seen by existing ones and whole runs replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["RngRegistry"]
+
+
+class RngRegistry:
+    """Factory of independent, reproducible ``random.Random`` streams."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating if needed) the stream for ``name``."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Derive a child registry (e.g. one per simulated node)."""
+        digest = hashlib.sha256(f"{self.seed}:fork:{name}".encode()).digest()
+        return RngRegistry(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,18 @@
+"""Storage engines: LSM tree, B+ tree, skip list, WAL, SSTables."""
+
+from .btree import BPlusTree
+from .lsm import LSMTree
+from .skiplist import SkipList
+from .sstable import TOMBSTONE, BloomFilter, SSTable
+from .wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "BPlusTree",
+    "BloomFilter",
+    "LSMTree",
+    "SSTable",
+    "SkipList",
+    "TOMBSTONE",
+    "WalRecord",
+    "WriteAheadLog",
+]

@@ -1,0 +1,178 @@
+"""Log-structured merge tree (LevelDB / RocksDB / TiKV storage model).
+
+Writes land in a WAL and a skip-list memtable; full memtables flush to
+immutable L0 SSTables; levels compact by size-tiered promotion with
+leveled merge (newer data shadows older).  Space and write amplification
+counters feed the storage analyses in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .skiplist import SkipList
+from .sstable import SSTable, TOMBSTONE
+from .wal import WalRecord, WriteAheadLog
+
+__all__ = ["LSMTree"]
+
+
+class LSMTree:
+    """A leveled LSM key-value engine over bytes keys/values."""
+
+    def __init__(self, memtable_limit: int = 256, level_factor: int = 4,
+                 max_l0_tables: int = 4):
+        if memtable_limit < 1:
+            raise ValueError("memtable_limit must be positive")
+        self.memtable_limit = memtable_limit
+        self.level_factor = level_factor
+        self.max_l0_tables = max_l0_tables
+        self.wal = WriteAheadLog()
+        self._memtable = SkipList()
+        self._seq = 0
+        # levels[0] is newest-first list of possibly-overlapping L0 tables;
+        # deeper levels each hold one non-overlapping sorted run.
+        self.levels: list[list[SSTable]] = [[]]
+        self.bytes_flushed = 0
+        self.bytes_compacted = 0
+        self.user_bytes_written = 0
+
+    # -- write path -------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        if value == TOMBSTONE:
+            raise ValueError("value collides with tombstone marker")
+        self._write(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self._write(key, TOMBSTONE)
+
+    def _write(self, key: bytes, value: bytes) -> None:
+        self._seq += 1
+        self.wal.append(WalRecord(self._seq, key, value))
+        self.wal.sync()
+        self._memtable.put(key, value)
+        self.user_bytes_written += len(key) + len(value)
+        if len(self._memtable) >= self.memtable_limit:
+            self.flush()
+
+    def flush(self) -> None:
+        """Freeze the memtable into an L0 SSTable and truncate the WAL."""
+        if len(self._memtable) == 0:
+            return
+        entries = list(self._memtable.items())
+        table = SSTable(entries, level=0)
+        self.levels[0].insert(0, table)
+        self.bytes_flushed += table.data_bytes()
+        self._memtable = SkipList()
+        self.wal.truncate()
+        if len(self.levels[0]) > self.max_l0_tables:
+            self._compact(0)
+
+    # -- compaction --------------------------------------------------------------
+
+    def _level_capacity(self, level: int) -> int:
+        return self.memtable_limit * (self.level_factor ** (level + 1))
+
+    def _compact(self, level: int) -> None:
+        while level + 1 >= len(self.levels):
+            self.levels.append([])
+        sources = self.levels[level] + self.levels[level + 1]
+        merged = self._merge(sources, drop_tombstones=level + 2 >= len(self.levels))
+        self.levels[level] = []
+        if merged:
+            table = SSTable(merged, level=level + 1)
+            self.levels[level + 1] = [table]
+            self.bytes_compacted += table.data_bytes()
+            if len(merged) > self._level_capacity(level + 1):
+                self._compact(level + 1)
+        else:
+            self.levels[level + 1] = []
+
+    @staticmethod
+    def _merge(tables: list[SSTable],
+               drop_tombstones: bool) -> list[tuple[bytes, bytes]]:
+        """K-way merge where earlier tables (newer) win on duplicate keys."""
+        latest: dict[bytes, bytes] = {}
+        for table in tables:
+            for key, value in table.items():
+                if key not in latest:
+                    latest[key] = value
+        items = sorted(latest.items())
+        if drop_tombstones:
+            items = [(k, v) for k, v in items if v != TOMBSTONE]
+        return items
+
+    # -- read path ----------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        value = self._memtable.get(key)
+        if value is not None:
+            return None if value == TOMBSTONE else value
+        for level_tables in self.levels:
+            for table in level_tables:  # newest first within L0
+                value = table.get(key)
+                if value is not None:
+                    return None if value == TOMBSTONE else value
+        return None
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def scan(self, low: bytes, high: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Merged range scan low <= key < high (newest version wins)."""
+        latest: dict[bytes, bytes] = {}
+        for level_tables in reversed(self.levels):
+            for table in reversed(level_tables):
+                for key, value in table.items():
+                    if low <= key < high:
+                        latest[key] = value
+        for key, value in self._memtable.range(low, high):
+            latest[key] = value
+        for key in sorted(latest):
+            if latest[key] != TOMBSTONE:
+                yield key, latest[key]
+
+    # -- recovery -------------------------------------------------------------------
+
+    def recover(self) -> int:
+        """Rebuild the memtable from the WAL after a crash; returns records."""
+        self._memtable = SkipList()
+        count = 0
+        for record in self.wal.replay():
+            self._memtable.put(record.key, record.value)
+            self._seq = max(self._seq, record.seq)
+            count += 1
+        return count
+
+    # -- statistics -------------------------------------------------------------------
+
+    def table_count(self) -> int:
+        return sum(len(tables) for tables in self.levels)
+
+    def total_bytes(self) -> int:
+        disk = sum(t.data_bytes() for tables in self.levels for t in tables)
+        mem = sum(len(k) + len(v) + 8 for k, v in self._memtable.items())
+        return disk + mem + self.wal.size_bytes()
+
+    def write_amplification(self) -> float:
+        if self.user_bytes_written == 0:
+            return 0.0
+        return (self.bytes_flushed + self.bytes_compacted) / self.user_bytes_written
+
+    def __len__(self) -> int:
+        """Number of live keys (scans everything; intended for tests)."""
+        count = 0
+        seen: set[bytes] = set()
+        for key, value in self._memtable.items():
+            seen.add(key)
+            if value != TOMBSTONE:
+                count += 1
+        for level_tables in self.levels:
+            for table in level_tables:
+                for key, value in table.items():
+                    if key not in seen:
+                        seen.add(key)
+                        if value != TOMBSTONE:
+                            count += 1
+        return count

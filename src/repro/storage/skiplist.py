@@ -1,0 +1,95 @@
+"""Probabilistic skip list.
+
+Used as the LSM memtable (LevelDB/RocksDB style) and standing in for the
+Redis sorted-value store that backs Veritas in Table 2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+__all__ = ["SkipList"]
+
+_MAX_LEVEL = 16
+_P = 0.25
+
+
+class _SkipNode:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key, value, level: int):
+        self.key = key
+        self.value = value
+        self.forward: list[Optional["_SkipNode"]] = [None] * level
+
+
+class SkipList:
+    """An ordered map with expected O(log n) insert/lookup/scan."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+        self._head = _SkipNode(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def put(self, key, value) -> None:
+        update: list[_SkipNode] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            while node.forward[i] is not None and node.forward[i].key < key:
+                node = node.forward[i]
+            update[i] = node
+        candidate = node.forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        new = _SkipNode(key, value, level)
+        for i in range(level):
+            new.forward[i] = update[i].forward[i]
+            update[i].forward[i] = new
+        self._size += 1
+
+    def get(self, key, default=None):
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            while node.forward[i] is not None and node.forward[i].key < key:
+                node = node.forward[i]
+        node = node.forward[0]
+        if node is not None and node.key == key:
+            return node.value
+        return default
+
+    def __contains__(self, key) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def __len__(self) -> int:
+        return self._size
+
+    def items(self) -> Iterator[tuple]:
+        """All entries in key order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def range(self, low, high) -> Iterator[tuple]:
+        """Entries with low <= key < high, in key order."""
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            while node.forward[i] is not None and node.forward[i].key < low:
+                node = node.forward[i]
+        node = node.forward[0]
+        while node is not None and node.key < high:
+            yield node.key, node.value
+            node = node.forward[0]

@@ -1,0 +1,27 @@
+"""Simulated system models (Section 4.1 plus Fig. 14 and hybrid systems)."""
+
+from .ahl import AhlSystem
+from .base import SystemConfig, TransactionalSystem
+from .etcd import EtcdSystem
+from .fabric import FabricSystem
+from .hybrids import HYBRID_SPECS, HybridSystem, build_hybrid
+from .quorum import QuorumSystem
+from .spanner import SpannerSystem
+from .tidb import TiDBSystem
+from .tikv import TikvCluster, TikvSystem
+
+__all__ = [
+    "AhlSystem",
+    "EtcdSystem",
+    "HYBRID_SPECS",
+    "HybridSystem",
+    "SpannerSystem",
+    "build_hybrid",
+    "FabricSystem",
+    "QuorumSystem",
+    "SystemConfig",
+    "TiDBSystem",
+    "TikvCluster",
+    "TikvSystem",
+    "TransactionalSystem",
+]

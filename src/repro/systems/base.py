@@ -1,0 +1,106 @@
+"""Common scaffolding for simulated transactional systems.
+
+Every system model (Quorum, Fabric, TiDB, etcd, TiKV, Spanner, AHL, the
+hybrids) subclasses :class:`TransactionalSystem`: it owns a simulation
+environment, a cluster of nodes, a network, and exposes ``submit`` /
+``submit_query`` returning kernel events that fire when the transaction
+completes (committed or aborted).  The workload driver in
+:mod:`repro.workloads.driver` is the only component that calls these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..sim.costs import CostModel, DEFAULT_COSTS
+from ..sim.kernel import Environment, Event
+from ..sim.network import Network
+from ..sim.node import Node
+from ..sim.rng import RngRegistry
+from ..txn.transaction import Transaction
+
+__all__ = ["SystemConfig", "TransactionalSystem"]
+
+
+@dataclass
+class SystemConfig:
+    """Cluster-level configuration shared by all system models."""
+
+    num_nodes: int = 5           # Table 3 default
+    seed: int = 0
+    jitter: float = 0.00002      # small network jitter (LAN realism; drives
+    #                              Fabric's inconsistent-read aborts and
+    #                              IBFT's variance)
+    cores_per_node: int = 6      # Xeon E5-1650: 6 cores
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+    extras: dict = field(default_factory=dict)
+
+    def derive(self, **overrides) -> "SystemConfig":
+        return replace(self, **overrides)
+
+
+class TransactionalSystem:
+    """Base class: cluster construction + the submit interface."""
+
+    name = "abstract"
+
+    def __init__(self, env: Environment, config: Optional[SystemConfig] = None):
+        self.env = env
+        self.config = config or SystemConfig()
+        self.costs = self.config.costs
+        self.rng = RngRegistry(self.config.seed)
+        self.network = Network(env, self.costs, rng=self.rng,
+                               jitter=self.config.jitter)
+        self.nodes: list[Node] = []
+        # The client "node" aggregates the driver machines (Caliper / YCSB
+        # clients ran on separate hosts), so its NIC is not a bottleneck.
+        self.client_node = Node(env, "client",
+                                cores=self.config.cores_per_node,
+                                costs=self.costs, nic_capacity=8)
+        self.network.attach(self.client_node)
+        self._round_robin = 0
+
+    # -- cluster helpers ------------------------------------------------------
+
+    def _new_node(self, name: str) -> Node:
+        node = Node(self.env, name, cores=self.config.cores_per_node,
+                    costs=self.costs)
+        self.network.attach(node)
+        return node
+
+    def _new_nodes(self, count: int, prefix: str) -> list[Node]:
+        created = [self._new_node(f"{prefix}{i}") for i in range(count)]
+        self.nodes.extend(created)
+        return created
+
+    def _pick_round_robin(self, items: list) -> object:
+        self._round_robin += 1
+        return items[self._round_robin % len(items)]
+
+    # -- the interface driven by the workload driver -----------------------------
+
+    def load(self, records: dict[str, bytes]) -> None:
+        """Pre-populate state before measurement (no cost charged)."""
+        raise NotImplementedError
+
+    def submit(self, txn: Transaction) -> Event:
+        """Run a (possibly updating) transaction.
+
+        The returned event fires with the transaction object once its fate
+        is decided; ``txn.status`` and ``txn.phases`` carry the outcome.
+        """
+        raise NotImplementedError
+
+    def submit_query(self, txn: Transaction) -> Event:
+        """Run a read-only transaction (no consensus, per Section 2.1)."""
+        raise NotImplementedError
+
+    # -- convenience -----------------------------------------------------------
+
+    def spawn(self, generator, name: str = ""):
+        return self.env.process(generator, name=name or self.name)
+
+    def _finish(self, ev: Event, txn: Transaction) -> None:
+        if not ev.triggered:
+            ev.succeed(txn)

@@ -1,0 +1,144 @@
+"""etcd system model: NoSQL key-value store over a single Raft group.
+
+Architecture (Section 4.1): one consensus instance sequences *all*
+requests; data is fully replicated; the state machine is a B+ tree
+(BoltDB).  Like a blockchain, execution is serial in log order — which is
+why etcd is the database the paper finds closest to blockchains
+structurally, yet far faster because its per-entry costs are tiny and it
+carries no security overhead.
+
+Performance mechanics reproduced here:
+
+* update throughput is bounded by the leader's serialized pipeline:
+  per-entry processing + per-follower replication egress — so it *drops*
+  as nodes are added (Table 4: 19282 tps at 3 nodes -> 6076 at 19);
+* linearizable reads are served by every node (ReadIndex), so aggregate
+  query throughput is high (Fig. 4b) and unaffected by consensus.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..concurrency.serial import SerialExecutor
+from ..consensus.raft import RaftConfig, RaftGroup
+from ..sim.kernel import Environment, Event
+from ..sim.resources import Resource
+from ..storage.btree import BPlusTree
+from ..txn.state import VersionedStore
+from ..txn.transaction import Transaction
+from .base import SystemConfig, TransactionalSystem
+
+__all__ = ["EtcdSystem"]
+
+
+class EtcdSystem(TransactionalSystem):
+    name = "etcd"
+
+    def __init__(self, env: Environment, config: Optional[SystemConfig] = None):
+        super().__init__(env, config)
+        self.servers = self._new_nodes(self.config.num_nodes, "etcd")
+        self.raft = RaftGroup(
+            env, self.servers, self.network, self.costs,
+            RaftConfig(batch_window=self.costs.raft_batch_window,
+                       max_batch=self.costs.raft_max_batch,
+                       message_kind="raft:etcd"),
+            rng=self.rng)
+        self.state = VersionedStore()
+        self.btree = BPlusTree(order=64)       # BoltDB state machine
+        self.executor = SerialExecutor(self.state)
+        self._version = 0
+        # Serialized apply loop (etcd applies committed entries in order on
+        # a single goroutine) and serialized read path per node.
+        self._read_paths = {n.name: Resource(env, 1) for n in self.servers}
+        self.spawn(self._apply_loop(), name="etcd-apply")
+        self._waiters: dict[int, Event] = {}
+
+    # -- data loading -------------------------------------------------------
+
+    def load(self, records: dict[str, bytes]) -> None:
+        for key, value in records.items():
+            self._version += 1
+            self.state.put(key, value, self._version)
+            self.btree.put(key.encode(), value)
+
+    # -- writes ------------------------------------------------------------------
+
+    def submit(self, txn: Transaction) -> Event:
+        done = self.env.event()
+        self.spawn(self._do_update(txn, done), name="etcd-update")
+        return done
+
+    def _do_update(self, txn: Transaction, done: Event):
+        txn.submitted_at = self.env.now
+        leader = self.raft.leader
+        if leader is None:
+            txn.mark_aborted(txn.abort_reason)
+            done.succeed(txn)
+            return
+        size = 64 + txn.payload_size
+        # client -> leader request over the wire
+        yield from self.client_node.nic_out.serve(
+            self.costs.net_send_overhead + self.costs.transfer_time(size))
+        yield self.env.timeout(self.costs.net_latency)
+        # gRPC decode + mvcc txn wrap on the leader (parallel across cores)
+        yield from leader.node.compute(self.costs.etcd_request_cpu)
+        commit_ev = leader.propose(txn, size=size)
+        try:
+            yield commit_ev
+        except Exception:
+            txn.mark_aborted(txn.abort_reason)
+            done.succeed(txn)
+            return
+        apply_ev = self.env.event()
+        self._waiters[txn.txn_id] = apply_ev
+        yield apply_ev
+        # response back to the client
+        yield from leader.node.nic_out.serve(
+            self.costs.net_send_overhead + self.costs.transfer_time(128))
+        yield self.env.timeout(self.costs.net_latency)
+        # status (committed / logic-aborted) was set by the apply loop
+        done.succeed(txn)
+
+    def _apply_loop(self):
+        """Serial state-machine application on the leader replica."""
+        leader_name = self.servers[0].name
+        applied = self.raft.replicas[leader_name].applied
+        node = self.servers[0]
+        while True:
+            _index, txn = yield applied.get()
+            yield from node.disk.serve(
+                self.costs.raft_apply + self.costs.store_put)
+            self._version += 1
+            # Single consensus order == serial execution: run the
+            # transaction (including any logic) against the state machine.
+            self.executor.execute(txn, self._version)
+            for key, value in txn.write_set.items():
+                self.btree.put(key.encode(), value)
+            waiter = self._waiters.pop(txn.txn_id, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(txn)
+
+    # -- reads ---------------------------------------------------------------------
+
+    def submit_query(self, txn: Transaction) -> Event:
+        done = self.env.event()
+        self.spawn(self._do_query(txn, done), name="etcd-query")
+        return done
+
+    def _do_query(self, txn: Transaction, done: Event):
+        txn.submitted_at = self.env.now
+        server = self._pick_round_robin(self.servers)
+        yield from self.client_node.nic_out.serve(
+            self.costs.net_send_overhead + self.costs.transfer_time(96))
+        yield self.env.timeout(self.costs.net_latency)
+        read_path = self._read_paths[server.name]
+        for op in txn.ops:
+            yield from read_path.serve(self.costs.etcd_read_cpu)
+            value, _version = self.state.get(op.key)
+        yield from server.nic_out.serve(
+            self.costs.net_send_overhead
+            + self.costs.transfer_time(64 + txn.payload_size))
+        yield self.env.timeout(self.costs.net_latency)
+        txn.mark_committed()
+        done.succeed(txn)

@@ -1,0 +1,257 @@
+"""Hybrid blockchain-database systems, composed from taxonomy choices.
+
+This is the constructive half of the paper's fusion analysis (Sections
+3.5 and 5.6): given a :class:`repro.core.taxonomy.SystemProfile`, build a
+*runnable simulated system* out of the same substrates the four
+benchmarked systems use — a replication backend (Raft, PBFT, Tendermint,
+PoW, or a shared-log ordering service), a concurrency mode (serial / OCC
+concurrent-execute-serial-commit / concurrent), an index cost (plain,
+MPT, Merkle), and a ledger.  Measuring these hybrids and placing them in
+the Figure 15 grid validates the forecast framework against its inputs.
+
+Per-system calibration constants live in ``HYBRID_SPECS`` with the
+reported numbers they approximate (see ``core.forecast``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..concurrency.occ import OccSimulator, OccValidator
+from ..consensus.pbft import PbftConfig, PbftGroup
+from ..consensus.pow import PowConfig, PowNetwork
+from ..consensus.raft import RaftConfig, RaftGroup
+from ..consensus.sharedlog import OrderingService, SharedLogConfig
+from ..consensus.tendermint import TendermintConfig, TendermintGroup
+from ..core.taxonomy import (ConcurrencyModel, IndexKind, SystemProfile,
+                             profile as lookup_profile)
+from ..sim.kernel import Environment, Event
+from ..sim.resources import Resource, Store
+from ..txn.ledger import Ledger
+from ..txn.state import VersionedStore
+from ..txn.transaction import AbortReason, OpType, Transaction, TxnStatus
+from .base import SystemConfig, TransactionalSystem
+
+__all__ = ["HybridSystem", "HYBRID_SPECS", "build_hybrid"]
+
+
+#: Backend + commit-path calibration per hybrid (anchored to the numbers
+#: the systems' own papers report; see core.forecast.REPORTED_THROUGHPUT).
+HYBRID_SPECS: dict[str, dict] = {
+    "veritas": {
+        "backend": "sharedlog",            # Kafka
+        "commit_serial_cost": 40e-6,       # Redis apply + ledger append
+        "block_max_items": 256, "block_timeout": 0.05,
+    },
+    "chainifydb": {
+        "backend": "sharedlog",            # Kafka
+        "commit_serial_cost": 160e-6,      # whatever-LedgerConsensus replay
+        "block_max_items": 128, "block_timeout": 0.1,
+    },
+    "brd": {
+        "backend": "pbft",                 # Kafka + BFT-SMaRt ordering
+        "commit_serial_cost": 360e-6,      # PostgreSQL stored-proc replay,
+        #   serializable in ledger order
+        "batch_window": 0.02, "max_batch": 64,
+    },
+    "bigchaindb": {
+        "backend": "tendermint",
+        "commit_serial_cost": 900e-6,      # MongoDB JSON txn apply
+        "block_interval": 0.15, "max_block_txns": 512,
+    },
+    "falcondb": {
+        "backend": "tendermint",
+        "commit_serial_cost": 170e-6,      # MySQL apply + IntegriDB update
+        "block_interval": 0.06, "max_block_txns": 256,
+    },
+    "blockchaindb": {
+        "backend": "pow",
+        "commit_serial_cost": 120e-6,      # LevelDB apply behind the chain
+        "block_interval": 2.0, "max_block_txns": 400,
+    },
+}
+
+
+class HybridSystem(TransactionalSystem):
+    """A taxonomy-profile-driven simulated transactional system."""
+
+    def __init__(self, env: Environment, profile: SystemProfile,
+                 config: Optional[SystemConfig] = None,
+                 spec: Optional[dict] = None):
+        super().__init__(env, config)
+        self.profile = profile
+        self.name = profile.name
+        self.spec = dict(HYBRID_SPECS.get(profile.name, {}))
+        if spec:
+            self.spec.update(spec)
+        self.servers = self._new_nodes(self.config.num_nodes, "node")
+        self.state = VersionedStore()
+        self.simulator = OccSimulator(self.state)
+        self.validator = OccValidator(self.state)
+        self.ledger = Ledger()
+        self.commit_threads = {n.name: Resource(env, 1)
+                               for n in self.servers}
+        self._version = 0
+        self._commit_stream: Store = Store(env)
+        self._build_backend()
+        self.spawn(self._commit_loop(), name=f"{self.name}-commit")
+
+    # -- backend construction ---------------------------------------------------
+
+    def _build_backend(self) -> None:
+        kind = self.spec.get("backend", "raft")
+        if kind == "raft":
+            self.backend = RaftGroup(
+                self.env, self.servers, self.network, self.costs,
+                RaftConfig(message_kind=f"raft:{self.name}"), rng=self.rng)
+            self._proposer = self.backend.propose
+        elif kind == "pbft":
+            self.backend = PbftGroup(
+                self.env, self.servers, self.network, self.costs,
+                PbftConfig(batch_window=self.spec.get("batch_window", 0.01),
+                           max_batch=self.spec.get("max_batch", 64),
+                           message_kind=f"pbft:{self.name}"),
+                rng=self.rng)
+            self._proposer = self.backend.propose
+        elif kind == "tendermint":
+            self.backend = TendermintGroup(
+                self.env, self.servers, self.network, self.costs,
+                TendermintConfig(
+                    block_interval=self.spec.get("block_interval", 0.1),
+                    max_block_txns=self.spec.get("max_block_txns", 512)),
+                rng=self.rng)
+            self._proposer = self.backend.propose
+        elif kind == "pow":
+            self.backend = PowNetwork(
+                self.env, self.servers, self.network,
+                PowConfig(block_interval=self.spec.get("block_interval", 4.0),
+                          max_block_txns=self.spec.get("max_block_txns", 500)),
+                rng=self.rng)
+            self._proposer = self.backend.propose
+        elif kind == "sharedlog":
+            orderers = self._new_nodes(3, "orderer")
+            self.backend = OrderingService(
+                self.env, orderers, self.network, self.costs,
+                SharedLogConfig(
+                    block_max_items=self.spec.get("block_max_items", 128),
+                    block_timeout=self.spec.get("block_timeout", 0.1)),
+                rng=self.rng)
+            self._proposer = self.backend.append
+        else:
+            raise ValueError(f"unknown backend {kind!r}")
+
+    # -- index cost --------------------------------------------------------------
+
+    def _index_cost(self, payload: int) -> float:
+        index = self.profile.index
+        if index in (IndexKind.LSM_MPT,):
+            return self.costs.mpt_update_time(payload)
+        if index in (IndexKind.LSM_MBT,):
+            # fixed-scale bucket tree: a handful of constant-size hashes
+            return 6 * self.costs.hash_time(64)
+        if index is IndexKind.BTREE_MERKLE:
+            return self.costs.hash_time(payload) + 4 * self.costs.hash_time(64)
+        return 0.0
+
+    # -- loading -------------------------------------------------------------------
+
+    def load(self, records: dict[str, bytes]) -> None:
+        for key, value in records.items():
+            self.state.put(key, value, 0)
+
+    # -- submission -------------------------------------------------------------------
+
+    def submit(self, txn: Transaction) -> Event:
+        done = self.env.event()
+        self.spawn(self._do_submit(txn, done), name=f"{self.name}-submit")
+        return done
+
+    def _do_submit(self, txn: Transaction, done: Event):
+        txn.submitted_at = self.env.now
+        size = 256 + txn.payload_size
+        yield from self.client_node.nic_out.serve(
+            self.costs.net_send_overhead + self.costs.transfer_time(size))
+        yield self.env.timeout(self.costs.net_latency)
+        entry = self._pick_round_robin(self.servers)
+        yield from entry.compute(self.costs.store_get)
+        if self.profile.concurrency is \
+                ConcurrencyModel.CONCURRENT_EXECUTION_SERIAL_COMMIT:
+            # speculative execution before ordering (Fabric/Veritas style)
+            self.simulator.simulate(txn)
+            if txn.abort_reason is AbortReason.LOGIC:
+                done.succeed(txn)
+                return
+        try:
+            ordered = self._proposer(txn, size)
+            yield ordered
+        except Exception:
+            txn.mark_aborted(AbortReason.COORDINATOR_ABORT)
+            done.succeed(txn)
+            return
+        self._commit_stream.put((txn, done))
+
+    # -- commit pipeline -----------------------------------------------------------------
+
+    def _commit_loop(self):
+        """Apply ordered transactions on the local database, in order."""
+        node = self.servers[0]
+        thread = self.commit_threads[node.name]
+        serial_cost = self.spec.get("commit_serial_cost", 100e-6)
+        while True:
+            txn, done = yield self._commit_stream.get()
+            cost = serial_cost + self._index_cost(txn.payload_size)
+            yield from thread.serve(cost)
+            self._version += 1
+            if self.profile.concurrency is \
+                    ConcurrencyModel.CONCURRENT_EXECUTION_SERIAL_COMMIT:
+                self.validator.validate_and_commit(txn, self._version)
+            else:
+                self._execute(txn, self._version)
+            if self._version % 64 == 0:
+                self.ledger.append_block([txn], timestamp=self.env.now)
+            if txn.status is TxnStatus.PENDING:
+                txn.mark_committed()
+            done.succeed(txn)
+
+    def _execute(self, txn: Transaction, version: int) -> None:
+        reads: dict[str, bytes] = {}
+        for op in txn.ops:
+            if op.op_type in (OpType.READ, OpType.UPDATE):
+                value, ver = self.state.get(op.key)
+                txn.read_set[op.key] = ver
+                reads[op.key] = value if value is not None else b""
+        if txn.logic is not None:
+            derived = txn.logic(reads)
+            if derived is None:
+                txn.mark_aborted(AbortReason.LOGIC)
+                return
+            txn.write_set.update(derived)
+        for op in txn.ops:
+            if op.is_write:
+                txn.write_set.setdefault(op.key, op.value)
+        self.state.apply_write_set(txn.write_set, version)
+        txn.mark_committed()
+
+    # -- queries -------------------------------------------------------------------------
+
+    def submit_query(self, txn: Transaction) -> Event:
+        done = self.env.event()
+        self.spawn(self._do_query(txn, done), name=f"{self.name}-query")
+        return done
+
+    def _do_query(self, txn: Transaction, done: Event):
+        txn.submitted_at = self.env.now
+        server = self._pick_round_robin(self.servers)
+        yield self.env.timeout(2 * self.costs.net_latency)
+        for op in txn.ops:
+            yield from server.compute(self.costs.store_get)
+            self.state.get(op.key)
+        txn.mark_committed()
+        done.succeed(txn)
+
+
+def build_hybrid(env: Environment, name: str,
+                 config: Optional[SystemConfig] = None,
+                 spec: Optional[dict] = None) -> HybridSystem:
+    """Build one of the Table 2 hybrids by name."""
+    return HybridSystem(env, lookup_profile(name), config, spec)

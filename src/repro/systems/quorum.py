@@ -1,0 +1,208 @@
+"""Quorum system model: order-execute permissioned blockchain.
+
+Quorum is a geth fork that swaps PoW for Raft (CFT) or Istanbul BFT and
+keeps the EVM and the Merkle Patricia Trie state (Section 4.1).
+Lifecycle (Fig. 3a): transactions enter the leader's txpool; every block
+interval the leader *serially pre-executes* a batch at the ledger tip,
+assembles a block, and runs consensus on it; after consensus the block is
+serially executed again (validation + MPT reconstruction) before the next
+block can be proposed — the "double execution" plus "sequential
+validation of in-block transactions" the paper blames for Quorum's
+record-size sensitivity (Fig. 11: 1547 tps at 10-byte records falling to
+58 tps at 5000 bytes, as EVM and MPT hashing costs grow with the record).
+
+The MPT is charged through the calibrated cost model by default (Fig. 11b:
+56 us at 10 B -> 2.5 ms at 5000 B per reconstruction); tests can supply a
+real :class:`repro.adt.mpt.MerklePatriciaTrie` to check state-root
+behaviour end to end.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..concurrency.serial import SerialExecutor
+from ..consensus.ibft import IbftConfig, IbftGroup
+from ..consensus.raft import RaftConfig, RaftGroup
+from ..sim.kernel import Environment, Event
+from ..sim.resources import Resource
+from ..txn.ledger import Ledger
+from ..txn.state import VersionedStore
+from ..txn.transaction import AbortReason, Transaction
+from .base import SystemConfig, TransactionalSystem
+
+__all__ = ["QuorumSystem"]
+
+
+class QuorumSystem(TransactionalSystem):
+    name = "quorum"
+
+    def __init__(self, env: Environment, config: Optional[SystemConfig] = None,
+                 consensus: str = "raft"):
+        super().__init__(env, config)
+        if consensus not in ("raft", "ibft"):
+            raise ValueError(f"unknown consensus {consensus!r}")
+        self.consensus = consensus
+        self.servers = self._new_nodes(self.config.num_nodes, "quorum")
+        if consensus == "raft":
+            self.group = RaftGroup(
+                env, self.servers, self.network, self.costs,
+                RaftConfig(batch_window=0.002, max_batch=8,
+                           message_kind="raft:quorum"),
+                rng=self.rng)
+        else:
+            self.group = IbftGroup(
+                env, self.servers, self.network, self.costs,
+                IbftConfig(block_interval=self.costs.quorum_block_interval,
+                           message_kind="ibft:quorum"),
+                rng=self.rng)
+        self.state = VersionedStore()
+        self.executor = SerialExecutor(self.state)
+        self.ledger = Ledger()
+        self.mempool: deque[tuple[Transaction, Event]] = deque()
+        self._mempool_signal: Optional[Event] = None
+        # Single-threaded EVM per node.
+        self.evm_threads = {n.name: Resource(env, 1) for n in self.servers}
+        self._version = 0
+        self.blocks_minted = 0
+        self.spawn(self._block_producer(), name="quorum-producer")
+        for node in self.servers[1:]:
+            self.spawn(self._follower_exec_loop(node),
+                       name=f"quorum-exec:{node.name}")
+
+    # -- loading -------------------------------------------------------------------
+
+    def load(self, records: dict[str, bytes]) -> None:
+        for key, value in records.items():
+            self.state.put(key, value, 0)
+
+    # -- cost helpers ------------------------------------------------------------------
+
+    def _exec_cost(self, txn: Transaction) -> float:
+        """Serial EVM execution + MPT path rebuild for one transaction."""
+        cost = 0.0
+        writes = txn.write_keys or [op.key for op in txn.ops]
+        per_key_payload = (txn.payload_size // max(1, len(writes))
+                           if txn.payload_size else 8)
+        cost += self.costs.evm_exec_time(txn.payload_size)
+        for _key in writes:
+            cost += self.costs.mpt_update_time(per_key_payload)
+        return cost
+
+    # -- submission -----------------------------------------------------------------------
+
+    def submit(self, txn: Transaction) -> Event:
+        done = self.env.event()
+        self.spawn(self._do_submit(txn, done), name="quorum-submit")
+        return done
+
+    def _do_submit(self, txn: Transaction, done: Event):
+        txn.submitted_at = self.env.now
+        size = 192 + txn.payload_size
+        yield from self.client_node.nic_out.serve(
+            self.costs.net_send_overhead + self.costs.transfer_time(size))
+        yield self.env.timeout(self.costs.net_latency)
+        leader = self.servers[0]
+        yield from leader.compute(self.costs.quorum_txpool_cpu)
+        self.mempool.append((txn, done))
+        if self._mempool_signal is not None \
+                and not self._mempool_signal.triggered:
+            self._mempool_signal.succeed()
+
+    # -- block production (order-execute) ----------------------------------------------------
+
+    def _block_producer(self):
+        leader = self.servers[0]
+        evm = self.evm_threads[leader.name]
+        while True:
+            if not self.mempool:
+                self._mempool_signal = self.env.event()
+                yield self._mempool_signal
+            yield self.env.timeout(self.costs.quorum_block_interval)
+            batch: list[tuple[Transaction, Event]] = []
+            while self.mempool and len(batch) < self.costs.quorum_max_block_txns:
+                batch.append(self.mempool.popleft())
+            if not batch:
+                continue
+            proposal_start = self.env.now
+            # Phase 1: serial pre-execution at the tip (proposal).
+            for txn, _done in batch:
+                yield from evm.serve(self._exec_cost(txn))
+            for txn, _done in batch:
+                txn.phases["proposal"] = self.env.now - proposal_start
+            # Phase 2: consensus on the assembled block.
+            consensus_start = self.env.now
+            block_txns = [txn for txn, _done in batch]
+            size = 512 + sum(192 + t.payload_size for t in block_txns)
+            try:
+                yield self.group.propose(block_txns, size=size)
+            except Exception:
+                for txn, done in batch:
+                    txn.mark_aborted(AbortReason.COORDINATOR_ABORT)
+                    self._finish(done, txn)
+                continue
+            for txn, _done in batch:
+                txn.phases["consensus"] = self.env.now - consensus_start
+            # Phase 3: serial commit — validation re-execution + MPT
+            # reconstruction (the state transition becomes final here).
+            commit_start = self.env.now
+            for txn, done in batch:
+                yield from evm.serve(self.costs.sig_verify
+                                     + self._exec_cost(txn))
+                self._version += 1
+                self.executor.execute(txn, self._version)
+                txn.phases["commit"] = self.env.now - commit_start
+                self._finish(done, txn)
+            self.ledger.append_block(block_txns, timestamp=self.env.now)
+            self.blocks_minted += 1
+
+    def _follower_exec_loop(self, node):
+        """Every other node re-executes committed blocks serially."""
+        if self.consensus == "raft":
+            applied = self.group.replicas[node.name].applied
+        else:
+            applied = self.group.replicas[node.name].applied
+        evm = self.evm_threads[node.name]
+        while True:
+            _index, item = yield applied.get()
+            blocks = item if isinstance(item, list) and item \
+                and isinstance(item[0], list) else [item]
+            for block_txns in blocks:
+                if not isinstance(block_txns, list):
+                    continue
+                for txn in block_txns:
+                    yield from evm.serve(self.costs.sig_verify
+                                         + self._exec_cost(txn))
+
+    # -- queries ---------------------------------------------------------------------------------
+
+    def submit_query(self, txn: Transaction) -> Event:
+        done = self.env.event()
+        self.spawn(self._do_query(txn, done), name="quorum-query")
+        return done
+
+    def _do_query(self, txn: Transaction, done: Event):
+        txn.submitted_at = self.env.now
+        server = self._pick_round_robin(self.servers)
+        yield from self.client_node.nic_out.serve(
+            self.costs.net_send_overhead + self.costs.transfer_time(192))
+        yield self.env.timeout(self.costs.net_latency)
+        pool = getattr(server, "_query_pool", None)
+        if pool is None:
+            pool = Resource(self.env, self.costs.quorum_query_pool)
+            server._query_pool = pool
+        req = pool.request()
+        yield req
+        try:
+            yield self.env.timeout(self.costs.quorum_query_time)
+            for op in txn.ops:
+                self.state.get(op.key)
+        finally:
+            pool.release(req)
+        yield from server.nic_out.serve(
+            self.costs.net_send_overhead
+            + self.costs.transfer_time(128 + txn.payload_size))
+        yield self.env.timeout(self.costs.net_latency)
+        txn.mark_committed()
+        done.succeed(txn)

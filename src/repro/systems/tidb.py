@@ -1,0 +1,234 @@
+"""TiDB system model: NewSQL — stateless SQL layer over TiKV + percolator.
+
+Architecture (Section 4.1): Placement Driver (timestamp oracle), TiKV as
+the replicated storage, and stateless TiDB servers that parse and
+schedule SQL.  Snapshot isolation via the percolator protocol: reads at a
+start timestamp, then a two-phase commit over storage (prewrite locks
+every written key with one *primary* lock; commit installs the commit
+timestamp on the primary first).
+
+Performance mechanics reproduced here:
+
+* concurrency-over-replication: many transactions in flight, each paying
+  SQL-layer CPU plus two consensus writes (Figure 8's TiDB bars);
+* the primary-record **latch**: held across both consensus writes, so a
+  hot key serializes waiting transactions — under Zipf theta=1 the
+  coordinator spends its time on contention resolution and throughput
+  collapses disproportionately to the abort rate (Figure 9, 5461 -> 173);
+* write-write conflicts abort *instantly* at prewrite (TiDB's abort-fast
+  behaviour the paper contrasts with Spanner's lock waits, Figure 14);
+* multi-shard writes span several region groups: more ops per
+  transaction -> more 2PC participants -> more overhead (Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..concurrency.percolator import (PercolatorStore, PrewriteConflict,
+                                      TimestampOracle)
+from ..sim.kernel import Environment, Event
+from ..sim.resources import Resource
+from ..txn.transaction import AbortReason, OpType, Transaction
+from .base import SystemConfig, TransactionalSystem
+from .tikv import TikvCluster
+
+__all__ = ["TiDBSystem"]
+
+
+class TiDBSystem(TransactionalSystem):
+    name = "tidb"
+
+    def __init__(self, env: Environment, config: Optional[SystemConfig] = None,
+                 tidb_servers: Optional[int] = None,
+                 tikv_nodes: Optional[int] = None,
+                 retry_limit: int = 3,
+                 instant_abort: bool = False):
+        super().__init__(env, config)
+        n = self.config.num_nodes
+        self.num_servers = tidb_servers if tidb_servers is not None else n
+        self.num_tikv = tikv_nodes if tikv_nodes is not None else n
+        self.servers = self._new_nodes(self.num_servers, "tidb")
+        self.pd_node = self._new_node("pd")
+        self.cluster = TikvCluster(self, self.num_tikv)
+        self.oracle = TimestampOracle()
+        self.pstore = PercolatorStore(self.cluster.state)
+        self.retry_limit = retry_limit
+        # When True, a write-write conflict aborts without the latch-held
+        # lock-resolution delay and without retries — the "instantly
+        # aborts once detecting a conflict" regime of Section 5.5's
+        # sharded deployment (Fig. 14).  The default (False) models the
+        # full-replication deployment whose latch contention produces the
+        # Fig. 9 collapse.
+        self.instant_abort = instant_abort
+        # TiKV scheduler latches: per-key FIFO, held across prewrite+commit.
+        self._latches: dict[str, Resource] = {}
+        self.prewrite_conflicts = 0
+        self.retries = 0
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _latch(self, key: str) -> Resource:
+        latch = self._latches.get(key)
+        if latch is None:
+            latch = Resource(self.env, 1)
+            self._latches[key] = latch
+        return latch
+
+    def load(self, records: dict[str, bytes]) -> None:
+        self.cluster.load(records)
+        self.oracle._ts = max(self.oracle._ts, self.cluster._version)
+
+    # -- writes ------------------------------------------------------------------------
+
+    def submit(self, txn: Transaction) -> Event:
+        done = self.env.event()
+        self.spawn(self._do_txn(txn, done), name="tidb-txn")
+        return done
+
+    def _do_txn(self, txn: Transaction, done: Event):
+        txn.submitted_at = self.env.now
+        server = self._pick_round_robin(self.servers)
+        size = 128 + txn.payload_size
+        yield from self.client_node.nic_out.serve(
+            self.costs.net_send_overhead + self.costs.transfer_time(size))
+        yield self.env.timeout(self.costs.net_latency)
+        # SQL layer: protocol + parse + compile (parallel across cores)
+        yield from server.compute(self.costs.tidb_session_cpu
+                                  + self.costs.sql_parse
+                                  + self.costs.sql_compile)
+        attempts = 0
+        while True:
+            committed = yield from self._attempt(txn, server)
+            if committed or txn.abort_reason is AbortReason.LOGIC:
+                break
+            attempts += 1
+            if self.instant_abort or attempts > self.retry_limit:
+                break
+            # TiDB auto-retry with backoff (burns coordinator time)
+            self.retries += 1
+            txn.read_set.clear()
+            txn.write_set.clear()
+            yield self.env.timeout(self.costs.tidb_retry_backoff)
+        yield from server.nic_out.serve(
+            self.costs.net_send_overhead + self.costs.transfer_time(128))
+        yield self.env.timeout(self.costs.net_latency)
+        done.succeed(txn)
+
+    def _attempt(self, txn: Transaction, server):
+        """One snapshot-isolation attempt; returns True when committed."""
+        start_ts = self.oracle.next()
+        # Read phase: point gets at region leaseholders.
+        reads: dict[str, bytes] = {}
+        for op in txn.ops:
+            if op.op_type in (OpType.READ, OpType.UPDATE):
+                yield from server.compute(self.costs.store_get)
+                value, version = yield self.cluster.kv_read(op.key)
+                txn.read_set[op.key] = version
+                reads[op.key] = value if value is not None else b""
+        # Execute logic -> write set.
+        write_set: dict[str, bytes] = {}
+        if txn.logic is not None:
+            derived = txn.logic(reads)
+            if derived is None:
+                txn.mark_aborted(AbortReason.LOGIC)
+                return False
+            write_set.update(derived)
+        for op in txn.ops:
+            if op.is_write:
+                write_set.setdefault(op.key, op.value)
+        txn.write_set = write_set
+        if not write_set:
+            txn.mark_committed()
+            return True
+        keys = sorted(write_set)
+        primary = keys[0]
+        # Acquire scheduler latches in order (held across 2PC).
+        grants = []
+        for key in keys:
+            latch = self._latch(key)
+            req = latch.request()
+            yield req
+            grants.append((latch, req))
+        try:
+            # Prewrite: conflict check + lock + one consensus write per
+            # involved region group (the 2PC prepare).
+            try:
+                self.pstore.prewrite(txn.txn_id, keys, primary, start_ts,
+                                     read_versions=txn.read_set)
+            except PrewriteConflict:
+                # Contention resolution: the coordinator resolves the
+                # blocking lock / consults txn status *while holding the
+                # scheduler latches* — hot keys therefore serialize
+                # waiting transactions (Section 5.3.1).
+                self.prewrite_conflicts += 1
+                if not self.instant_abort:
+                    yield self.env.timeout(
+                        self.costs.tidb_conflict_resolution)
+                txn.mark_aborted(AbortReason.WRITE_WRITE_CONFLICT)
+                return False
+            groups = {self.cluster.leader_of(k) for k in keys}
+            prewrites = []
+            for key in keys:
+                node = self.cluster.leader_node(key)
+                yield from self.cluster.store_threads[node.name].serve(
+                    self.costs.percolator_prewrite_cpu)
+                prewrites.append(self.cluster.kv_write(
+                    key, write_set[key],
+                    meta={"lock": txn.txn_id, "primary": primary}))
+            yield self.env.all_of(prewrites)
+            # Commit: consensus write on the primary's group decides.
+            commit_ts = self.oracle.next()
+            primary_node = self.cluster.leader_node(primary)
+            yield from self.cluster.store_threads[primary_node.name].serve(
+                self.costs.percolator_commit_cpu)
+            yield self.cluster.kv_write(
+                primary, write_set[primary],
+                meta={"commit_ts": commit_ts, "primary": True})
+            self.pstore.commit(txn.txn_id, write_set, commit_ts)
+            txn.commit_version = commit_ts
+            # Secondary commit records are written asynchronously.
+            for key in keys[1:]:
+                if self.cluster.leader_of(key) not in groups:
+                    continue
+                self.cluster.kv_write(key, write_set[key],
+                                      meta={"commit_ts": commit_ts})
+            txn.mark_committed()
+            return True
+        finally:
+            for latch, req in grants:
+                latch.release(req)
+            self.pstore.rollback(txn.txn_id, keys)
+
+    # -- reads -------------------------------------------------------------------------
+
+    def submit_query(self, txn: Transaction) -> Event:
+        done = self.env.event()
+        self.spawn(self._do_query(txn, done), name="tidb-query")
+        return done
+
+    def _do_query(self, txn: Transaction, done: Event):
+        txn.submitted_at = self.env.now
+        server = self._pick_round_robin(self.servers)
+        yield from self.client_node.nic_out.serve(
+            self.costs.net_send_overhead + self.costs.transfer_time(128))
+        yield self.env.timeout(self.costs.net_latency)
+        phase_start = self.env.now
+        yield from server.compute(self.costs.sql_parse)
+        txn.phases["sql-parse"] = self.env.now - phase_start
+        phase_start = self.env.now
+        yield from server.compute(self.costs.sql_compile)
+        txn.phases["sql-compile"] = self.env.now - phase_start
+        phase_start = self.env.now
+        for op in txn.ops:
+            # Coprocessor client work on the TiDB server dominates the
+            # measured "Storage-get" (Fig. 8b: 275 us).
+            yield from server.compute(260e-6)
+            yield self.cluster.kv_read(op.key)
+        txn.phases["storage-get"] = self.env.now - phase_start
+        yield from server.nic_out.serve(
+            self.costs.net_send_overhead
+            + self.costs.transfer_time(64 + txn.payload_size))
+        yield self.env.timeout(self.costs.net_latency)
+        txn.mark_committed()
+        done.succeed(txn)

@@ -1,0 +1,218 @@
+"""TiKV system model: multi-Raft replicated key-value store.
+
+TiKV splits the key space into regions, each its own Raft group; region
+*leaders* are balanced across nodes, so — unlike etcd — writes are
+consensus-sequenced on every node in parallel.  Under the paper's full
+replication mode every region replicates to all nodes, so each node also
+carries follower and apply work for every other node's regions: adding
+nodes adds capacity (more leaders, hot-spot alleviation) *and* overhead
+(more followers per group) — the interplay behind Table 5.
+
+We model one Raft group per node (the aggregate of all regions whose
+leader lives there) and a serialized per-node "raftstore/apply" thread,
+which is TiKV's actual architecture (batched raftstore and apply threads).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..consensus.raft import RaftConfig, RaftGroup
+from ..sharding.partitioner import HashPartitioner
+from ..sim.kernel import Environment, Event
+from ..sim.resources import Resource
+from ..storage.lsm import LSMTree
+from ..txn.state import VersionedStore
+from ..txn.transaction import Transaction
+from .base import SystemConfig, TransactionalSystem
+
+__all__ = ["TikvCluster", "TikvSystem"]
+
+
+class TikvCluster:
+    """The storage cluster: N nodes, N raft groups, shared state.
+
+    Used standalone by :class:`TikvSystem` and as the storage layer of
+    :class:`repro.systems.tidb.TiDBSystem`.
+    """
+
+    def __init__(self, system: TransactionalSystem, num_nodes: int,
+                 prefix: str = "tikv"):
+        self.system = system
+        self.env = system.env
+        self.costs = system.costs
+        self.nodes = system._new_nodes(num_nodes, prefix)
+        self.partitioner = HashPartitioner(num_nodes)
+        self.state = VersionedStore()
+        self.lsm = LSMTree(memtable_limit=4096)   # RocksDB stand-in (bytes)
+        self._version = 0
+        names = [n.name for n in self.nodes]
+        self.groups: list[RaftGroup] = []
+        for i, leader in enumerate(self.nodes):
+            ordered = [leader] + [n for n in self.nodes if n is not leader]
+            group = RaftGroup(
+                self.env, ordered, system.network, self.costs,
+                RaftConfig(batch_window=self.costs.raft_batch_window,
+                           max_batch=self.costs.raft_max_batch,
+                           message_kind=f"raft:{prefix}:{i}"),
+                rng=system.rng)
+            self.groups.append(group)
+        # Serialized apply/raftstore thread and read path per node.
+        self.store_threads = {n.name: Resource(self.env, 1)
+                              for n in self.nodes}
+        self.read_paths = {n.name: Resource(self.env, 1) for n in self.nodes}
+        self._waiters: dict[tuple[int, int], Event] = {}
+        # Full replication: every node applies every group's entries on its
+        # serialized store thread (the paper's Section 5.2.2 observation
+        # that more TiKV nodes mean more consensus/apply overhead per node).
+        for i, group in enumerate(self.groups):
+            for node in self.nodes:
+                self.env.process(
+                    self._apply_loop(i, node.name,
+                                     is_leader=(node is self.nodes[i])),
+                    name=f"{prefix}-apply:{i}:{node.name}")
+
+    # -- placement ---------------------------------------------------------------
+
+    def leader_of(self, key: str) -> int:
+        return self.partitioner.shard_of(key)
+
+    def leader_node(self, key: str):
+        return self.nodes[self.leader_of(key)]
+
+    # -- writes ---------------------------------------------------------------------
+
+    def kv_write(self, key: str, value: bytes, meta: Optional[dict] = None) -> Event:
+        """Replicate one write through the key's region group.
+
+        The event fires once the write is committed *and applied* on the
+        leader (TiKV acknowledges after apply).
+        """
+        done = self.env.event()
+        self.env.process(self._do_write(key, value, meta, done),
+                         name="tikv-write")
+        return done
+
+    def _do_write(self, key: str, value: bytes, meta: Optional[dict],
+                  done: Event):
+        group_id = self.leader_of(key)
+        group = self.groups[group_id]
+        node = self.nodes[group_id]
+        # gRPC + scheduler work (parallel across cores)
+        yield from node.compute(self.costs.tikv_request_cpu)
+        record = {"key": key, "value": value, "meta": meta or {}}
+        ev = group.propose(record, size=96 + len(key) + len(value))
+        try:
+            index, _item = yield ev
+        except Exception as exc:
+            done.fail(exc)
+            return
+        waiter = self.env.event()
+        self._waiters[(group_id, index)] = waiter
+        yield waiter
+        done.succeed((group_id, index))
+
+    def _apply_loop(self, group_id: int, node_name: str, is_leader: bool):
+        """Serialized apply on this node's store thread.
+
+        Only the leader's apply publishes state and resolves waiters (the
+        logical state is shared because full replication keeps replicas
+        identical); followers still pay the apply cost.
+        """
+        applied = self.groups[group_id].replicas[node_name].applied
+        thread = self.store_threads[node_name]
+        while True:
+            index, record = yield applied.get()
+            yield from thread.serve(self.costs.tikv_apply
+                                    + self.costs.store_put)
+            if not is_leader:
+                continue
+            self._version += 1
+            self.state.put(record["key"], record["value"], self._version)
+            waiter = self._waiters.pop((group_id, index), None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(index)
+
+    # -- reads ------------------------------------------------------------------------
+
+    def kv_read(self, key: str) -> Event:
+        """Leaseholder point get at the region leader."""
+        done = self.env.event()
+        self.env.process(self._do_read(key, done), name="tikv-read")
+        return done
+
+    def _do_read(self, key: str, done: Event):
+        node = self.leader_node(key)
+        yield from self.read_paths[node.name].serve(self.costs.tikv_read_cpu)
+        value, version = self.state.get(key)
+        done.succeed((value, version))
+
+    def load(self, records: dict[str, bytes]) -> None:
+        for key, value in records.items():
+            self._version += 1
+            self.state.put(key, value, self._version)
+        # storage-bytes accounting for the Fig. 12 comparison
+        for key, value in records.items():
+            self.lsm.put(key.encode(), value)
+
+    def storage_bytes(self) -> int:
+        return self.lsm.total_bytes()
+
+
+class TikvSystem(TransactionalSystem):
+    """Standalone TiKV benchmarked as in Fig. 4 ("TiKV" bars)."""
+
+    name = "tikv"
+
+    def __init__(self, env: Environment, config: Optional[SystemConfig] = None):
+        super().__init__(env, config)
+        self.cluster = TikvCluster(self, self.config.num_nodes)
+
+    def load(self, records: dict[str, bytes]) -> None:
+        self.cluster.load(records)
+
+    def submit(self, txn: Transaction) -> Event:
+        done = self.env.event()
+        self.spawn(self._do_update(txn, done), name="tikv-update")
+        return done
+
+    def _do_update(self, txn: Transaction, done: Event):
+        txn.submitted_at = self.env.now
+        size = 64 + txn.payload_size
+        yield from self.client_node.nic_out.serve(
+            self.costs.net_send_overhead + self.costs.transfer_time(size))
+        yield self.env.timeout(self.costs.net_latency)
+        for op in txn.ops:
+            if op.is_write:
+                try:
+                    yield self.cluster.kv_write(op.key, op.value)
+                except Exception:
+                    txn.mark_aborted(txn.abort_reason)
+                    done.succeed(txn)
+                    return
+        node = self.cluster.leader_node(txn.ops[0].key)
+        yield from node.nic_out.serve(
+            self.costs.net_send_overhead + self.costs.transfer_time(128))
+        yield self.env.timeout(self.costs.net_latency)
+        txn.mark_committed()
+        done.succeed(txn)
+
+    def submit_query(self, txn: Transaction) -> Event:
+        done = self.env.event()
+        self.spawn(self._do_query(txn, done), name="tikv-query")
+        return done
+
+    def _do_query(self, txn: Transaction, done: Event):
+        txn.submitted_at = self.env.now
+        yield from self.client_node.nic_out.serve(
+            self.costs.net_send_overhead + self.costs.transfer_time(96))
+        yield self.env.timeout(self.costs.net_latency)
+        for op in txn.ops:
+            yield self.cluster.kv_read(op.key)
+        node = self.cluster.leader_node(txn.ops[0].key)
+        yield from node.nic_out.serve(
+            self.costs.net_send_overhead
+            + self.costs.transfer_time(64 + txn.payload_size))
+        yield self.env.timeout(self.costs.net_latency)
+        txn.mark_committed()
+        done.succeed(txn)

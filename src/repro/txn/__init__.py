@@ -1,0 +1,18 @@
+"""Transactions, versioned state, and the append-only ledger."""
+
+from .ledger import Block, BlockHeader, Ledger, envelope_size
+from .state import VersionedStore
+from .transaction import AbortReason, Op, OpType, Transaction, TxnStatus
+
+__all__ = [
+    "AbortReason",
+    "Block",
+    "BlockHeader",
+    "Ledger",
+    "Op",
+    "OpType",
+    "Transaction",
+    "TxnStatus",
+    "VersionedStore",
+    "envelope_size",
+]

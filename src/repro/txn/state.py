@@ -1,0 +1,58 @@
+"""Versioned key-value state shared by the concurrency-control modules.
+
+Each key carries a monotonically increasing version (the block/commit
+sequence that last wrote it) — exactly what Fabric's MVCC validation and
+TiDB's snapshot reads compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = ["VersionedStore"]
+
+
+class VersionedStore:
+    """In-memory map of key -> (value, version)."""
+
+    def __init__(self):
+        self._data: dict[str, tuple[bytes, int]] = {}
+        self.writes = 0
+        self.reads = 0
+
+    def get(self, key: str) -> tuple[Optional[bytes], int]:
+        """Return (value, version); (None, 0) when the key is absent."""
+        self.reads += 1
+        entry = self._data.get(key)
+        if entry is None:
+            return None, 0
+        return entry
+
+    def version(self, key: str) -> int:
+        entry = self._data.get(key)
+        return entry[1] if entry is not None else 0
+
+    def put(self, key: str, value: bytes, version: int) -> None:
+        self.writes += 1
+        self._data[key] = (value, version)
+
+    def apply_write_set(self, write_set: dict[str, bytes], version: int) -> None:
+        for key, value in write_set.items():
+            self.put(key, value, version)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def snapshot(self) -> dict[str, tuple[bytes, int]]:
+        """Copy of the full state (tests / fork comparisons)."""
+        return dict(self._data)
+
+    def data_bytes(self) -> int:
+        """Total bytes of current values (Fig. 12 state-storage accounting)."""
+        return sum(len(value) for value, _version in self._data.values())

@@ -1,0 +1,118 @@
+"""Transactions: the unit of work in every simulated system.
+
+A transaction is a list of read/write operations over string keys with
+byte-string values, plus (once executed) a read set with versions and a
+write set — the Fabric-style "rw-set" that optimistic validation checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Optional
+
+__all__ = ["Op", "OpType", "Transaction", "TxnStatus", "AbortReason"]
+
+_txn_counter = itertools.count(1)
+
+
+class OpType(Enum):
+    READ = "read"
+    WRITE = "write"
+    # read-modify-write: read the key, then write a new value derived from it
+    UPDATE = "update"
+
+
+class TxnStatus(Enum):
+    PENDING = "pending"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class AbortReason(Enum):
+    """Why a transaction aborted — matches the paper's Fig. 9/10 categories."""
+
+    READ_WRITE_CONFLICT = "read-write conflict"     # Fabric MVCC check
+    INCONSISTENT_READ = "inconsistent read"          # Fabric endorsement mismatch
+    WRITE_WRITE_CONFLICT = "write-write conflict"    # TiDB percolator prewrite
+    LOCK_TIMEOUT = "lock timeout"                    # 2PL deadlock avoidance
+    LOGIC = "application logic"                      # e.g. Smallbank constraint
+    COORDINATOR_ABORT = "coordinator abort"          # 2PC vote-abort
+
+
+@dataclass
+class Op:
+    """One storage operation inside a transaction."""
+
+    op_type: OpType
+    key: str
+    value: bytes = b""
+
+    @property
+    def is_write(self) -> bool:
+        return self.op_type in (OpType.WRITE, OpType.UPDATE)
+
+
+@dataclass
+class Transaction:
+    """A client transaction flowing through a simulated system."""
+
+    ops: list[Op]
+    client: str = "client-0"
+    txn_id: int = field(default_factory=lambda: next(_txn_counter))
+    submitted_at: float = 0.0
+    status: TxnStatus = TxnStatus.PENDING
+    abort_reason: Optional[AbortReason] = None
+    commit_version: int = 0   # version/timestamp stamped at commit
+    # Populated at execution time (Fabric-style rw-set):
+    read_set: dict[str, int] = field(default_factory=dict)   # key -> version
+    write_set: dict[str, bytes] = field(default_factory=dict)
+    # Optional application logic run at execution time against read values;
+    # returning False signals a constraint violation (logic abort).
+    logic: Optional[Callable[[dict[str, bytes]], Optional[dict[str, bytes]]]] = None
+    phases: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def keys(self) -> list[str]:
+        return [op.key for op in self.ops]
+
+    @property
+    def read_keys(self) -> list[str]:
+        return [op.key for op in self.ops
+                if op.op_type in (OpType.READ, OpType.UPDATE)]
+
+    @property
+    def write_keys(self) -> list[str]:
+        return [op.key for op in self.ops if op.is_write]
+
+    @property
+    def is_read_only(self) -> bool:
+        return all(op.op_type == OpType.READ for op in self.ops)
+
+    @property
+    def payload_size(self) -> int:
+        """Total bytes of written values (drives message/ledger sizes)."""
+        return sum(len(op.value) for op in self.ops if op.is_write)
+
+    def mark_committed(self) -> None:
+        self.status = TxnStatus.COMMITTED
+
+    def mark_aborted(self, reason: AbortReason) -> None:
+        self.status = TxnStatus.ABORTED
+        self.abort_reason = reason
+
+    @classmethod
+    def write(cls, key: str, value: bytes, client: str = "client-0") -> "Transaction":
+        """Convenience: a single blind write."""
+        return cls(ops=[Op(OpType.WRITE, key, value)], client=client)
+
+    @classmethod
+    def read(cls, key: str, client: str = "client-0") -> "Transaction":
+        """Convenience: a single read."""
+        return cls(ops=[Op(OpType.READ, key)], client=client)
+
+    @classmethod
+    def update(cls, key: str, value: bytes, client: str = "client-0") -> "Transaction":
+        """Convenience: a single read-modify-write."""
+        return cls(ops=[Op(OpType.UPDATE, key, value)], client=client)

@@ -1,0 +1,21 @@
+"""Workload generators (YCSB, Smallbank) and the closed-loop driver."""
+
+from .driver import DriverConfig, RunResult, measure_system, run_closed_loop
+from .smallbank import (SmallbankConfig, SmallbankWorkload, decode_balance,
+                        encode_balance)
+from .ycsb import YcsbConfig, YcsbWorkload
+from .zipf import ZipfGenerator
+
+__all__ = [
+    "DriverConfig",
+    "RunResult",
+    "SmallbankConfig",
+    "SmallbankWorkload",
+    "YcsbConfig",
+    "YcsbWorkload",
+    "ZipfGenerator",
+    "decode_balance",
+    "encode_balance",
+    "measure_system",
+    "run_closed_loop",
+]

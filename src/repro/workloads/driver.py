@@ -1,0 +1,183 @@
+"""Closed-loop benchmark driver (the Caliper / YCSB-driver / OLTPBench role).
+
+``run_closed_loop`` spawns N client processes against a system; each
+client submits the next workload transaction, waits for its fate, and
+moves on.  Throughput is measured over a post-warm-up window of committed
+transactions; latency and abort statistics mirror what the paper's
+drivers report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..sim.kernel import Environment
+from ..sim.metrics import TxnStats
+from ..txn.transaction import Transaction, TxnStatus
+from .ycsb import YcsbWorkload
+
+__all__ = ["DriverConfig", "RunResult", "run_closed_loop", "measure_system"]
+
+
+@dataclass
+class DriverConfig:
+    clients: int = 64
+    warmup_txns: int = 200
+    measure_txns: int = 2000
+    max_sim_time: float = 600.0
+    txn_timeout: float = 60.0      # per-transaction client timeout
+    query_mode: bool = False       # route via submit_query
+
+
+@dataclass
+class RunResult:
+    """Outcome of one measured run."""
+
+    tps: float
+    stats: TxnStats
+    elapsed: float
+    measured: int
+    timeouts: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def abort_rate(self) -> float:
+        return self.stats.abort_rate
+
+    @property
+    def mean_latency(self) -> float:
+        return self.stats.latency.mean
+
+    def phase_means(self) -> dict[str, float]:
+        return {name: rec.mean
+                for name, rec in self.stats.phase_latency.items()}
+
+
+def run_closed_loop(
+    env: Environment,
+    system,
+    next_txn: Callable[[str], Transaction],
+    config: Optional[DriverConfig] = None,
+) -> RunResult:
+    """Drive ``system`` with closed-loop clients and measure steady state.
+
+    ``next_txn(client_name)`` produces the next transaction for a client.
+    The run finishes when ``measure_txns`` post-warm-up completions are
+    recorded (or the safety wall of ``max_sim_time`` is hit).
+    """
+    cfg = config or DriverConfig()
+    stats = TxnStats()
+    state = {
+        "completed": 0,
+        "measure_started_at": None,
+        "measure_count": 0,
+        "measure_committed": 0,
+        "timeouts": 0,
+        "done": False,
+        "finished_at": None,
+    }
+    finished = env.event()
+
+    def record(txn: Transaction) -> None:
+        state["completed"] += 1
+        if state["completed"] == cfg.warmup_txns:
+            state["measure_started_at"] = env.now
+            return
+        if state["measure_started_at"] is None or state["done"]:
+            return
+        state["measure_count"] += 1
+        latency = env.now - txn.submitted_at
+        if txn.status is TxnStatus.COMMITTED:
+            state["measure_committed"] += 1
+            stats.commit(latency)
+        else:
+            stats.abort(txn.abort_reason.value if txn.abort_reason
+                        else "unknown")
+        for phase, duration in txn.phases.items():
+            stats.record_phase(phase, duration)
+        if state["measure_count"] >= cfg.measure_txns:
+            state["done"] = True
+            state["finished_at"] = env.now
+            if not finished.triggered:
+                finished.succeed()
+
+    def client(name: str, stagger: float):
+        # Stagger start-up so closed-loop clients don't convoy in lockstep.
+        if stagger > 0:
+            yield env.timeout(stagger)
+        while not state["done"]:
+            txn = next_txn(name)
+            submit = (system.submit_query if cfg.query_mode
+                      else system.submit)
+            ev = submit(txn)
+            timer = env.timeout(cfg.txn_timeout)
+            try:
+                yield env.any_of([ev, timer])
+            except Exception:
+                continue  # infrastructure error (e.g. leader failover)
+            if not ev.triggered:
+                state["timeouts"] += 1
+                continue
+            if not ev.ok:
+                continue
+            record(txn)
+
+    for i in range(cfg.clients):
+        env.process(client(f"client-{i}", i * 0.0003),
+                    name=f"driver-client-{i}")
+
+    def watchdog():
+        yield env.any_of([finished, env.timeout(cfg.max_sim_time)])
+        state["done"] = True
+        if state["finished_at"] is None:
+            state["finished_at"] = env.now
+
+    env.process(watchdog(), name="driver-watchdog")
+    env.run(until=cfg.max_sim_time + cfg.txn_timeout + 1.0)
+
+    started = state["measure_started_at"]
+    ended = state["finished_at"] if state["finished_at"] is not None else env.now
+    if started is None or ended <= started:
+        return RunResult(tps=0.0, stats=stats, elapsed=0.0,
+                         measured=state["measure_count"],
+                         timeouts=state["timeouts"])
+    elapsed = ended - started
+    # Throughput is *goodput*: committed transactions per second (what
+    # Caliper/YCSB report as successful-operation throughput).
+    return RunResult(
+        tps=state["measure_committed"] / elapsed,
+        stats=stats,
+        elapsed=elapsed,
+        measured=state["measure_count"],
+        timeouts=state["timeouts"],
+        extras={"completed_tps": state["measure_count"] / elapsed},
+    )
+
+
+def measure_system(
+    system_factory: Callable[[Environment], object],
+    workload_factory: Callable[[], YcsbWorkload],
+    mode: str = "update",
+    driver: Optional[DriverConfig] = None,
+    load_records: bool = True,
+) -> RunResult:
+    """Build a fresh environment + system + workload, then run one mode.
+
+    ``mode``: "update" (blind writes), "query" (reads), or "rmw"
+    (read-modify-write).
+    """
+    env = Environment()
+    system = system_factory(env)
+    workload = workload_factory()
+    if load_records:
+        system.load(workload.initial_records())
+    maker = {
+        "update": workload.next_update,
+        "query": workload.next_query,
+        "rmw": workload.next_rmw,
+    }[mode]
+    cfg = driver or DriverConfig()
+    if mode == "query":
+        cfg = DriverConfig(**{**cfg.__dict__, "query_mode": True})
+    return run_closed_loop(env, system, maker, cfg)

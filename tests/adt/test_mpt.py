@@ -1,0 +1,164 @@
+"""Tests for the Merkle Patricia Trie."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adt.mpt import EMPTY_ROOT, MerklePatriciaTrie, NodeStore, verify_proof
+
+
+def key_of(i: int) -> bytes:
+    return hashlib.md5(f"key{i}".encode()).digest()
+
+
+def test_empty_get():
+    trie = MerklePatriciaTrie()
+    assert trie.get(b"\x01\x02") is None
+    assert trie.root == EMPTY_ROOT
+
+
+def test_put_get_single():
+    trie = MerklePatriciaTrie()
+    trie.put(b"\xab\xcd", b"value")
+    assert trie.get(b"\xab\xcd") == b"value"
+    assert trie.get(b"\xab\xce") is None
+
+
+def test_empty_key_rejected():
+    with pytest.raises(ValueError):
+        MerklePatriciaTrie().put(b"", b"v")
+
+
+def test_overwrite_updates_value_and_root():
+    trie = MerklePatriciaTrie()
+    r1 = trie.put(b"\x01", b"a")
+    r2 = trie.put(b"\x01", b"b")
+    assert trie.get(b"\x01") == b"b"
+    assert r1 != r2
+
+
+def test_shared_prefix_keys():
+    trie = MerklePatriciaTrie()
+    trie.put(b"\x12\x34\x56", b"one")
+    trie.put(b"\x12\x34\x78", b"two")
+    trie.put(b"\x12\x99\x00", b"three")
+    assert trie.get(b"\x12\x34\x56") == b"one"
+    assert trie.get(b"\x12\x34\x78") == b"two"
+    assert trie.get(b"\x12\x99\x00") == b"three"
+
+
+def test_key_that_is_prefix_of_another():
+    trie = MerklePatriciaTrie()
+    trie.put(b"\x12", b"short")
+    trie.put(b"\x12\x34", b"long")
+    assert trie.get(b"\x12") == b"short"
+    assert trie.get(b"\x12\x34") == b"long"
+
+
+def test_root_is_order_independent():
+    items = [(key_of(i), f"v{i}".encode()) for i in range(200)]
+    t1 = MerklePatriciaTrie()
+    for k, v in items:
+        t1.put(k, v)
+    t2 = MerklePatriciaTrie()
+    for k, v in reversed(items):
+        t2.put(k, v)
+    assert t1.root == t2.root
+
+
+def test_root_depends_on_content():
+    t1 = MerklePatriciaTrie()
+    t1.put(b"\x01", b"a")
+    t2 = MerklePatriciaTrie()
+    t2.put(b"\x01", b"b")
+    assert t1.root != t2.root
+
+
+def test_proof_verifies_and_rejects():
+    trie = MerklePatriciaTrie()
+    for i in range(100):
+        trie.put(key_of(i), f"v{i}".encode())
+    proof = trie.prove(key_of(42))
+    assert verify_proof(trie.root, key_of(42), b"v42", proof)
+    assert not verify_proof(trie.root, key_of(42), b"WRONG", proof)
+    assert not verify_proof(trie.root, key_of(43), b"v42", proof)
+    # proof against a stale root fails
+    old_root = trie.root
+    trie.put(key_of(42), b"new")
+    fresh_proof = trie.prove(key_of(42))
+    assert verify_proof(trie.root, key_of(42), b"new", fresh_proof)
+    assert not verify_proof(old_root, key_of(42), b"new", fresh_proof)
+
+
+def test_empty_proof_rejected():
+    assert not verify_proof(EMPTY_ROOT, b"\x01", b"v", [])
+
+
+def test_stale_versions_accumulate_in_store():
+    """Content-addressed storage retains rewritten paths (Fig. 13 driver)."""
+    trie = MerklePatriciaTrie()
+    for i in range(50):
+        trie.put(key_of(i), b"x" * 10)
+    nodes_after_insert = len(trie.store)
+    for i in range(50):
+        trie.put(key_of(i), b"y" * 10)
+    assert len(trie.store) > nodes_after_insert
+
+
+def test_store_bytes_include_hash_keys():
+    store = NodeStore()
+    digest = store.put(b"blob")
+    assert store.get(digest) == b"blob"
+    assert store.total_bytes() == 32 + 4
+
+
+def test_historical_root_remains_readable():
+    """Old roots stay queryable — the blockchain history property."""
+    trie = MerklePatriciaTrie()
+    trie.put(b"\x01", b"old")
+    old_root = trie.root
+    trie.put(b"\x01", b"new")
+    historical = MerklePatriciaTrie(store=trie.store, root=old_root)
+    assert historical.get(b"\x01") == b"old"
+    assert trie.get(b"\x01") == b"new"
+
+
+def test_depth_grows_with_population():
+    trie = MerklePatriciaTrie()
+    trie.put(key_of(0), b"v")
+    shallow = trie.depth(key_of(0))
+    for i in range(1, 500):
+        trie.put(key_of(i), b"v")
+    assert trie.depth(key_of(0)) >= shallow
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.dictionaries(st.binary(min_size=1, max_size=8),
+                       st.binary(min_size=0, max_size=32),
+                       min_size=1, max_size=40))
+def test_mpt_matches_dict_model(model):
+    trie = MerklePatriciaTrie()
+    for k, v in model.items():
+        trie.put(k, v)
+    for k, v in model.items():
+        assert trie.get(k) == v
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.binary(min_size=1, max_size=6),
+                          st.binary(min_size=0, max_size=8)),
+                min_size=1, max_size=30))
+def test_mpt_root_reflects_final_state_only(items):
+    """Two tries that end at the same map have the same root, regardless
+    of intermediate overwrites."""
+    final = {}
+    trie1 = MerklePatriciaTrie()
+    for k, v in items:
+        trie1.put(k, v)
+        final[k] = v
+    trie2 = MerklePatriciaTrie()
+    for k, v in sorted(final.items()):
+        trie2.put(k, v)
+    assert trie1.root == trie2.root

@@ -1,0 +1,32 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, Network, Node, RngRegistry
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def cluster(env):
+    """A 4-node cluster + network, the workhorse for protocol tests."""
+    network = Network(env, rng=RngRegistry(1234))
+    nodes = [Node(env, f"n{i}") for i in range(4)]
+    for node in nodes:
+        network.attach(node)
+    return network, nodes
+
+
+def make_cluster(env, count: int, seed: int = 0, jitter: float = 0.0,
+                 prefix: str = "n"):
+    """Helper used directly by tests needing custom sizes."""
+    network = Network(env, rng=RngRegistry(seed), jitter=jitter)
+    nodes = [Node(env, f"{prefix}{i}") for i in range(count)]
+    for node in nodes:
+        network.attach(node)
+    return network, nodes

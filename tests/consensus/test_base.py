@@ -1,0 +1,58 @@
+"""Tests for the quorum arithmetic of Section 3.1.3."""
+
+import pytest
+
+from repro.consensus.base import (FailureModel, NetworkModel,
+                                  max_tolerated_failures, quorum_size,
+                                  replicas_required)
+
+
+def test_cft_async_needs_2f_plus_1():
+    assert replicas_required(1, FailureModel.CRASH) == 3
+    assert replicas_required(2, FailureModel.CRASH) == 5
+
+
+def test_cft_sync_needs_f_plus_1():
+    assert replicas_required(
+        2, FailureModel.CRASH, NetworkModel.SYNCHRONOUS) == 3
+
+
+def test_bft_async_needs_3f_plus_1():
+    assert replicas_required(1, FailureModel.BYZANTINE) == 4
+    assert replicas_required(3, FailureModel.BYZANTINE) == 10
+
+
+def test_bft_sync_needs_2f_plus_1():
+    assert replicas_required(
+        3, FailureModel.BYZANTINE, NetworkModel.SYNCHRONOUS) == 7
+
+
+def test_negative_f_rejected():
+    with pytest.raises(ValueError):
+        replicas_required(-1, FailureModel.CRASH)
+
+
+def test_max_tolerated_inverse_of_required():
+    for f in range(0, 6):
+        for fm in FailureModel:
+            n = replicas_required(f, fm)
+            assert max_tolerated_failures(n, fm) == f
+
+
+def test_quorum_sizes():
+    assert quorum_size(3, FailureModel.CRASH) == 2
+    assert quorum_size(5, FailureModel.CRASH) == 3
+    assert quorum_size(4, FailureModel.BYZANTINE) == 3   # 2f+1, f=1
+    assert quorum_size(7, FailureModel.BYZANTINE) == 5   # 2f+1, f=2
+
+
+def test_quorum_intersection_property():
+    """Two CFT quorums always intersect; two BFT quorums intersect in at
+    least f+1 replicas (so one correct replica is in both)."""
+    for n in range(3, 20):
+        q = quorum_size(n, FailureModel.CRASH)
+        assert 2 * q > n
+    for f in range(1, 6):
+        n = 3 * f + 1
+        q = quorum_size(n, FailureModel.BYZANTINE)
+        assert 2 * q - n >= f + 1

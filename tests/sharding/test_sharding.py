@@ -1,0 +1,263 @@
+"""Tests for partitioning, 2PC, BFT 2PC, and shard formation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus.pbft import PbftGroup
+from repro.sharding import (BftCoordinator, Decision, HashPartitioner,
+                            RangePartitioner, ReconfigurationSchedule,
+                            ShardFormation, TwoPhaseCoordinator, Vote,
+                            WorkloadAwarePartitioner, min_shard_size,
+                            shard_failure_probability)
+from repro.sim import RngRegistry
+
+from ..conftest import make_cluster
+
+
+# -- partitioners --------------------------------------------------------------
+
+def test_hash_partitioner_deterministic_and_in_range():
+    hp = HashPartitioner(7)
+    for i in range(200):
+        shard = hp.shard_of(f"key{i}")
+        assert 0 <= shard < 7
+        assert shard == hp.shard_of(f"key{i}")
+
+
+def test_hash_partitioner_balances_uniform_keys():
+    hp = HashPartitioner(4)
+    counts = [0] * 4
+    for i in range(4000):
+        counts[hp.shard_of(f"key{i}")] += 1
+    assert min(counts) > 800  # roughly balanced
+
+
+def test_hash_partitioner_rejects_zero_shards():
+    with pytest.raises(ValueError):
+        HashPartitioner(0)
+
+
+def test_range_partitioner_boundaries():
+    rp = RangePartitioner(["g", "p"])
+    assert rp.num_shards == 3
+    assert rp.shard_of("a") == 0
+    assert rp.shard_of("g") == 1   # boundary goes right
+    assert rp.shard_of("k") == 1
+    assert rp.shard_of("z") == 2
+
+
+def test_range_partitioner_preserves_locality():
+    rp = RangePartitioner(["m"])
+    shards = rp.shards_of([f"a{i}" for i in range(10)])
+    assert shards == {0}
+
+
+def test_workload_aware_balances_skew():
+    freqs = {f"k{i}": 1.0 / (i + 1) for i in range(100)}  # zipf-ish
+    wp = WorkloadAwarePartitioner(4, freqs)
+    loads = wp.load_balance(freqs)
+    assert max(loads) / min(loads) < 1.5
+    hp_loads = [0.0] * 4
+    hp = HashPartitioner(4)
+    for k, f in freqs.items():
+        hp_loads[hp.shard_of(k)] += f
+    assert max(loads) <= max(hp_loads)  # no worse than hash placement
+
+
+def test_workload_aware_falls_back_to_hash():
+    wp = WorkloadAwarePartitioner(4, {"hot": 1.0})
+    assert 0 <= wp.shard_of("never-seen") < 4
+
+
+# -- 2PC -------------------------------------------------------------------------
+
+class FakeParticipant:
+    def __init__(self, env, vote, delay=0.001):
+        self.env = env
+        self.vote = vote
+        self.delay = delay
+        self.decision = None
+        self.prepared = False
+
+    def prepare(self, txn_id, payload):
+        ev = self.env.event()
+
+        def go():
+            yield self.env.timeout(self.delay)
+            self.prepared = True
+            ev.succeed(self.vote)
+        self.env.process(go())
+        return ev
+
+    def finalize(self, txn_id, decision):
+        ev = self.env.event()
+
+        def go():
+            yield self.env.timeout(self.delay)
+            self.decision = decision
+            ev.succeed(True)
+        self.env.process(go())
+        return ev
+
+
+def test_2pc_all_yes_commits(env):
+    coordinator = TwoPhaseCoordinator(env)
+    parts = [FakeParticipant(env, Vote.YES) for _ in range(3)]
+    done = coordinator.run(1, parts)
+    env.run()
+    assert done.value is Decision.COMMIT
+    assert all(p.decision is Decision.COMMIT for p in parts)
+    assert coordinator.stats.committed == 1
+
+
+def test_2pc_any_no_aborts_everywhere(env):
+    coordinator = TwoPhaseCoordinator(env)
+    parts = [FakeParticipant(env, Vote.YES),
+             FakeParticipant(env, Vote.NO),
+             FakeParticipant(env, Vote.YES)]
+    done = coordinator.run(1, parts)
+    env.run()
+    assert done.value is Decision.ABORT
+    assert all(p.decision is Decision.ABORT for p in parts)
+
+
+def test_2pc_atomicity_no_split_decision(env):
+    """Whatever the votes, every participant gets the same decision."""
+    coordinator = TwoPhaseCoordinator(env)
+    import itertools
+    for votes in itertools.product([Vote.YES, Vote.NO], repeat=3):
+        parts = [FakeParticipant(env, v) for v in votes]
+        coordinator.run(1, parts)
+        env.run()
+        decisions = {p.decision for p in parts}
+        assert len(decisions) == 1
+
+
+def test_2pc_coordinator_crash_blocks_prepared_participants(env):
+    """The trusted-coordinator weakness of Section 3.4.2."""
+    coordinator = TwoPhaseCoordinator(env, extra_phase_delay=0.5)
+    parts = [FakeParticipant(env, Vote.YES) for _ in range(2)]
+    done = coordinator.run(1, parts)
+
+    def crash_between_phases(env):
+        yield env.timeout(0.1)  # after votes, before decision
+        coordinator.crash()
+
+    env.process(crash_between_phases(env))
+    env.run()
+    assert done.value is Decision.BLOCKED
+    assert all(p.prepared for p in parts)
+    assert all(p.decision is None for p in parts)  # stuck holding locks
+
+
+def test_bft_2pc_commits_through_committee(env):
+    network, nodes = make_cluster(env, 4, prefix="r")
+    committee = PbftGroup(env, nodes, network, rng=RngRegistry(2))
+    coordinator = BftCoordinator(env, committee)
+    parts = [FakeParticipant(env, Vote.YES) for _ in range(2)]
+    done = coordinator.run(1, parts)
+    env.run(until=20)
+    assert done.value is Decision.COMMIT
+    assert coordinator.consensus_rounds == 2  # begin + decide
+
+
+def test_bft_2pc_single_replica_crash_does_not_block(env):
+    """Consensus liveness keeps the coordinator available (paper 3.4.2)."""
+    network, nodes = make_cluster(env, 4, prefix="r")
+    committee = PbftGroup(env, nodes, network, rng=RngRegistry(3))
+    coordinator = BftCoordinator(env, committee)
+    nodes[1].crash()  # one of 3f+1=4 replicas fails (f=1 tolerated)
+    parts = [FakeParticipant(env, Vote.YES) for _ in range(2)]
+    done = coordinator.run(1, parts)
+    env.run(until=30)
+    assert done.value is Decision.COMMIT
+
+
+# -- shard formation ----------------------------------------------------------------
+
+def test_failure_probability_monotone_in_byzantine_count():
+    probs = [shard_failure_probability(100, byz, 10)
+             for byz in (5, 15, 30)]
+    assert probs[0] < probs[1] < probs[2]
+
+
+def test_failure_probability_decreases_with_shard_size():
+    p_small = shard_failure_probability(300, 60, 7)
+    p_large = shard_failure_probability(300, 60, 60)
+    assert p_large < p_small
+
+
+def test_failure_probability_bounds():
+    assert shard_failure_probability(100, 0, 10) == 0.0
+    # all-byzantine population always violates the threshold
+    assert shard_failure_probability(100, 100, 10) == pytest.approx(1.0)
+
+
+def test_shard_size_larger_than_population_rejected():
+    with pytest.raises(ValueError):
+        shard_failure_probability(10, 2, 20)
+
+
+def test_min_shard_size_meets_target():
+    size = min_shard_size(400, 100, target_failure_prob=1e-6)
+    assert shard_failure_probability(400, 100, size) <= 1e-6
+    if size > 4:
+        assert shard_failure_probability(400, 100, size - 1) > 1e-6
+
+
+def test_formation_assignment_balanced_and_deterministic():
+    sf = ShardFormation(num_shards=4)
+    nodes = [f"n{i}" for i in range(20)]
+    a1 = sf.assign(nodes)
+    a2 = sf.assign(nodes)
+    assert a1 == a2
+    assert all(len(v) == 5 for v in a1.values())
+    assert sorted(sum(a1.values(), [])) == sorted(nodes)
+
+
+def test_reconfiguration_changes_assignment():
+    sf = ShardFormation(num_shards=4)
+    nodes = [f"n{i}" for i in range(20)]
+    before = sf.assign(nodes)
+    after = sf.reconfigure(nodes)
+    assert before != after
+    assert sf.epoch == 1
+
+
+def test_formation_attacker_cannot_choose_placement():
+    """Assignment depends on the epoch seed, not on node-chosen values:
+    the same node lands in different shards across epochs."""
+    sf = ShardFormation(num_shards=4)
+    nodes = [f"n{i}" for i in range(40)]
+    placements = set()
+    for _ in range(8):
+        assignment = sf.reconfigure(nodes)
+        for shard, members in assignment.items():
+            if "n0" in members:
+                placements.add(shard)
+    assert len(placements) > 1
+
+
+def test_reconfiguration_schedule_duty_cycle():
+    rs = ReconfigurationSchedule(period=30.0, pause=9.0)
+    assert rs.duty_cycle == pytest.approx(0.7)
+    assert rs.effective_throughput(1000) == pytest.approx(700)
+    assert not rs.is_paused(0.0)
+    assert rs.is_paused(25.0)
+
+
+def test_reconfiguration_schedule_validation():
+    with pytest.raises(ValueError):
+        ReconfigurationSchedule(period=10.0, pause=10.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 8), st.lists(st.text(min_size=1, max_size=6),
+                                   min_size=2, max_size=40, unique=True))
+def test_formation_partition_property(num_shards, nodes):
+    """Every node is assigned to exactly one shard."""
+    sf = ShardFormation(num_shards=num_shards)
+    assignment = sf.assign(nodes)
+    flat = sum(assignment.values(), [])
+    assert sorted(flat) == sorted(nodes)

@@ -1,0 +1,50 @@
+"""Tests for the calibrated cost model."""
+
+import pytest
+
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+
+
+def test_defaults_are_positive():
+    costs = DEFAULT_COSTS
+    for name in ("net_latency", "sig_verify", "store_put", "raft_propose",
+                 "fabric_simulate", "evm_exec_base", "mpt_update_base",
+                 "tikv_apply", "sql_parse"):
+        assert getattr(costs, name) > 0, name
+
+
+def test_hash_time_linear_in_size():
+    costs = DEFAULT_COSTS
+    t0 = costs.hash_time(0)
+    t1k = costs.hash_time(1000)
+    t2k = costs.hash_time(2000)
+    assert t1k > t0
+    assert t2k - t1k == pytest.approx(t1k - t0)
+
+
+def test_transfer_time_matches_bandwidth():
+    costs = DEFAULT_COSTS
+    # 125 MB at 1 Gb/s takes one second
+    assert costs.transfer_time(125_000_000) == pytest.approx(1.0)
+
+
+def test_mpt_update_fit_matches_fig11b():
+    """Fig. 11b: ~56 us at 10 B records, ~2.5 ms at 5000 B."""
+    costs = DEFAULT_COSTS
+    assert costs.mpt_update_time(10) == pytest.approx(61e-6, rel=0.15)
+    assert costs.mpt_update_time(5000) == pytest.approx(2.5e-3, rel=0.15)
+
+
+def test_derive_overrides_single_field():
+    derived = DEFAULT_COSTS.derive(sig_verify=42.0)
+    assert derived.sig_verify == 42.0
+    assert derived.net_latency == DEFAULT_COSTS.net_latency
+
+
+def test_cost_model_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_COSTS.sig_verify = 0.0
+
+
+def test_fresh_model_equals_default():
+    assert CostModel() == DEFAULT_COSTS

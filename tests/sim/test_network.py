@@ -1,0 +1,189 @@
+"""Tests for the simulated network."""
+
+import pytest
+
+from repro.sim import Environment, Message, Network, Node, RngRegistry
+
+
+def test_delivery_includes_latency_and_transfer(env, cluster):
+    network, nodes = cluster
+    src, dst = nodes[0], nodes[1]
+    got = []
+
+    def receiver(env):
+        msg = yield dst.receive()
+        got.append((env.now, msg.payload))
+
+    env.process(receiver(env))
+    network.send(Message(src=src.name, dst=dst.name, kind="x",
+                         payload="hi", size=125_000))  # 1ms transfer
+    env.run()
+    assert got and got[0][1] == "hi"
+    costs = network.costs
+    expected = costs.net_send_overhead + 125_000 / costs.net_bandwidth \
+        + costs.net_latency
+    assert got[0][0] == pytest.approx(expected)
+
+
+def test_unknown_endpoint_raises(env, cluster):
+    network, _nodes = cluster
+    network.send(Message(src="n0", dst="ghost", kind="x"))
+    with pytest.raises(KeyError):
+        env.run()
+
+
+def test_duplicate_node_name_rejected(env, cluster):
+    network, nodes = cluster
+    with pytest.raises(ValueError):
+        network.attach(Node(env, nodes[0].name))
+
+
+def test_partition_blocks_and_heal_restores(env, cluster):
+    network, nodes = cluster
+    got = []
+
+    def receiver(env):
+        while True:
+            msg = yield nodes[1].receive()
+            got.append(msg.payload)
+
+    env.process(receiver(env))
+    network.partition({"n0"}, {"n1"})
+    network.send(Message(src="n0", dst="n1", kind="x", payload="lost"))
+    env.run()
+    assert got == []
+    assert network.messages_dropped == 1
+    network.heal()
+    network.send(Message(src="n0", dst="n1", kind="x", payload="found"))
+    env.run()
+    assert got == ["found"]
+
+
+def test_partition_is_bidirectional(env, cluster):
+    network, nodes = cluster
+    network.partition({"n0"}, {"n1"})
+    network.send(Message(src="n1", dst="n0", kind="x", payload="back"))
+    env.run()
+    assert network.messages_dropped == 1
+
+
+def test_partition_does_not_affect_other_pairs(env, cluster):
+    network, nodes = cluster
+    got = []
+
+    def receiver(env):
+        msg = yield nodes[2].receive()
+        got.append(msg.payload)
+
+    env.process(receiver(env))
+    network.partition({"n0"}, {"n1"})
+    network.send(Message(src="n0", dst="n2", kind="x", payload="ok"))
+    env.run()
+    assert got == ["ok"]
+
+
+def test_crashed_destination_discards(env, cluster):
+    network, nodes = cluster
+    nodes[1].crash()
+    network.send(Message(src="n0", dst="n1", kind="x", payload="gone"))
+    env.run()
+    assert network.messages_dropped == 1
+
+
+def test_crashed_source_discards(env, cluster):
+    network, nodes = cluster
+    nodes[0].crash()
+    network.send(Message(src="n0", dst="n1", kind="x", payload="gone"))
+    env.run()
+    assert network.messages_dropped == 1
+
+
+def test_drop_rate_drops_some_messages(env, cluster):
+    network, nodes = cluster
+    network.set_drop_rate("n0", "n1", 0.5)
+    received = []
+
+    def receiver(env):
+        while True:
+            msg = yield nodes[1].receive()
+            received.append(msg)
+
+    env.process(receiver(env))
+    for _ in range(200):
+        network.send(Message(src="n0", dst="n1", kind="x"))
+    env.run()
+    assert 0 < len(received) < 200
+    assert len(received) + network.messages_dropped == 200
+
+
+def test_broadcast_excludes_source(env, cluster):
+    network, nodes = cluster
+    counts = {n.name: 0 for n in nodes}
+
+    def receiver(env, node):
+        while True:
+            yield node.receive()
+            counts[node.name] += 1
+
+    for node in nodes:
+        env.process(receiver(env, node))
+    network.broadcast("n0", [n.name for n in nodes], "x", payload=1)
+    env.run()
+    assert counts == {"n0": 0, "n1": 1, "n2": 1, "n3": 1}
+
+
+def test_nic_serializes_egress(env, cluster):
+    """Two large sends from one node must serialize on its NIC."""
+    network, nodes = cluster
+    arrivals = []
+
+    def receiver(env, node):
+        msg = yield node.receive()
+        arrivals.append(env.now)
+
+    env.process(receiver(env, nodes[1]))
+    env.process(receiver(env, nodes[2]))
+    size = 1_250_000  # 10 ms transfer each
+    network.send(Message(src="n0", dst="n1", kind="x", size=size))
+    network.send(Message(src="n0", dst="n2", kind="x", size=size))
+    env.run()
+    assert len(arrivals) == 2
+    # second arrival is ~one transfer time after the first
+    assert arrivals[1] - arrivals[0] == pytest.approx(
+        0.01 + network.costs.net_send_overhead, rel=0.01)
+
+
+def test_subscribed_kind_routes_to_dedicated_inbox(env, cluster):
+    network, nodes = cluster
+    inbox = nodes[1].subscribe("special")
+    got = []
+
+    def consumer(env):
+        msg = yield inbox.get()
+        got.append(msg.kind)
+
+    env.process(consumer(env))
+    network.send(Message(src="n0", dst="n1", kind="special", payload=1))
+    env.run()
+    assert got == ["special"]
+
+
+def test_jitter_changes_delivery_times():
+    env = Environment()
+    network = Network(env, rng=RngRegistry(5), jitter=0.01)
+    a, b = Node(env, "a"), Node(env, "b")
+    network.attach(a)
+    network.attach(b)
+    arrivals = []
+
+    def receiver(env):
+        while True:
+            yield b.receive()
+            arrivals.append(env.now)
+
+    env.process(receiver(env))
+    for i in range(10):
+        network.send(Message(src="a", dst="b", kind="x", size=16))
+    env.run()
+    gaps = {round(t, 9) for t in arrivals}
+    assert len(gaps) > 1  # jitter desynchronizes identical sends

@@ -1,0 +1,113 @@
+"""Tests for the HybridSystem composition machinery."""
+
+import pytest
+
+from repro.core import (Category, ConcurrencyModel, FailureModelChoice,
+                        IndexKind, LedgerAbstraction, ReplicationApproach,
+                        ReplicationModel, ShardingSupport, SystemProfile)
+from repro.sim import Environment
+from repro.systems import HYBRID_SPECS, HybridSystem, SystemConfig, build_hybrid
+from repro.txn import Transaction, TxnStatus
+
+
+def _profile(**overrides) -> SystemProfile:
+    base = dict(
+        name="custom",
+        category=Category.OUT_OF_BLOCKCHAIN_DB,
+        replication_model=ReplicationModel.STORAGE,
+        replication_approach=ReplicationApproach.CONSENSUS,
+        failure_model=FailureModelChoice.CFT,
+        consensus="Raft",
+        concurrency=ConcurrencyModel.CONCURRENT,
+        ledger=LedgerAbstraction.APPEND_ONLY,
+        index=IndexKind.LSM,
+        sharding=ShardingSupport.NONE,
+    )
+    base.update(overrides)
+    return SystemProfile(**base)
+
+
+def test_all_specs_have_known_backends():
+    for name, spec in HYBRID_SPECS.items():
+        assert spec["backend"] in ("raft", "pbft", "tendermint", "pow",
+                                   "sharedlog"), name
+
+
+def test_unknown_backend_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        HybridSystem(env, _profile(), SystemConfig(num_nodes=3),
+                     spec={"backend": "carrier-pigeon"})
+
+
+@pytest.mark.parametrize("backend", ["raft", "pbft", "tendermint",
+                                     "sharedlog"])
+def test_every_backend_commits(backend):
+    env = Environment()
+    system = HybridSystem(env, _profile(), SystemConfig(num_nodes=4),
+                          spec={"backend": backend,
+                                "commit_serial_cost": 50e-6})
+    system.load({"k": b"0"})
+    txns = [Transaction.write("k", f"{i}".encode()) for i in range(10)]
+    for txn in txns:
+        system.submit(txn)
+    env.run(until=60)
+    assert all(t.status is TxnStatus.COMMITTED for t in txns)
+
+
+def test_index_cost_ordering():
+    """MPT must be the most expensive state organization, plain the
+    cheapest — the Fig. 13 cost ordering."""
+    env = Environment()
+    costs = {}
+    for index in (IndexKind.LSM, IndexKind.LSM_MBT, IndexKind.BTREE_MERKLE,
+                  IndexKind.LSM_MPT):
+        system = HybridSystem(env, _profile(index=index),
+                              SystemConfig(num_nodes=3),
+                              spec={"backend": "raft"})
+        costs[index] = system._index_cost(1000)
+    assert costs[IndexKind.LSM] == 0.0
+    assert costs[IndexKind.LSM_MPT] > costs[IndexKind.BTREE_MERKLE] \
+        > costs[IndexKind.LSM_MBT] > 0
+
+
+def test_hybrid_ledger_records_blocks():
+    env = Environment()
+    system = build_hybrid(env, "veritas", SystemConfig(num_nodes=4))
+    system.load({f"k{i}": b"0" for i in range(10)})
+    txns = [Transaction.write(f"k{i % 10}", b"x") for i in range(130)]
+    for txn in txns:
+        system.submit(txn)
+    env.run(until=60)
+    assert system.ledger.height >= 1
+    assert system.ledger.verify()
+
+
+def test_spec_override_wins_over_registry():
+    env = Environment()
+    system = build_hybrid(env, "veritas", SystemConfig(num_nodes=4),
+                          spec={"commit_serial_cost": 123e-6})
+    assert system.spec["commit_serial_cost"] == 123e-6
+    assert system.spec["backend"] == "sharedlog"  # registry value kept
+
+
+def test_serial_concurrency_profile_executes_at_commit():
+    env = Environment()
+    system = HybridSystem(
+        env, _profile(concurrency=ConcurrencyModel.SERIAL),
+        SystemConfig(num_nodes=3), spec={"backend": "raft"})
+    system.load({"acct": (100).to_bytes(8, "big")})
+
+    def add_ten(reads):
+        value = int.from_bytes(reads["acct"], "big")
+        return {"acct": (value + 10).to_bytes(8, "big")}
+
+    from repro.txn import Op, OpType
+    txns = [Transaction(ops=[Op(OpType.UPDATE, "acct", b"")],
+                        logic=add_ten) for _ in range(5)]
+    for txn in txns:
+        system.submit(txn)
+    env.run(until=30)
+    assert all(t.status is TxnStatus.COMMITTED for t in txns)
+    value, _v = system.state.get("acct")
+    assert int.from_bytes(value, "big") == 150  # serial: no lost updates

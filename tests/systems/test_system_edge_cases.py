@@ -1,0 +1,137 @@
+"""Edge-case and configuration tests for the system models."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.costs import DEFAULT_COSTS
+from repro.systems import (EtcdSystem, FabricSystem, QuorumSystem,
+                           SystemConfig, TiDBSystem)
+from repro.txn import AbortReason, Op, OpType, Transaction, TxnStatus
+from repro.workloads import SmallbankConfig, SmallbankWorkload
+
+
+def test_system_config_derive():
+    config = SystemConfig(num_nodes=7)
+    derived = config.derive(num_nodes=3, seed=9)
+    assert derived.num_nodes == 3 and derived.seed == 9
+    assert config.num_nodes == 7  # original untouched
+
+
+def test_cost_model_derive_immutable():
+    costs = DEFAULT_COSTS.derive(sig_verify=1e-3)
+    assert costs.sig_verify == 1e-3
+    assert DEFAULT_COSTS.sig_verify != 1e-3
+
+
+def test_etcd_logic_abort_surfaces():
+    env = Environment()
+    system = EtcdSystem(env, SystemConfig(num_nodes=3))
+    system.load({"acct": (5).to_bytes(8, "big")})
+    txn = Transaction(ops=[Op(OpType.UPDATE, "acct", b"")],
+                      logic=lambda reads: None)
+    done = system.submit(txn)
+    env.run(until=5)
+    assert done.triggered
+    assert txn.status is TxnStatus.ABORTED
+    assert txn.abort_reason is AbortReason.LOGIC
+
+
+def test_quorum_multi_op_transaction_applies_atomically():
+    env = Environment()
+    system = QuorumSystem(env, SystemConfig(num_nodes=3))
+    system.load({"a": b"0", "b": b"0"})
+    txn = Transaction(ops=[Op(OpType.WRITE, "a", b"1"),
+                           Op(OpType.WRITE, "b", b"2")])
+    system.submit(txn)
+    env.run(until=10)
+    assert txn.status is TxnStatus.COMMITTED
+    assert system.state.get("a")[0] == b"1"
+    assert system.state.get("b")[0] == b"2"
+
+
+def test_quorum_smallbank_constraint_enforced_end_to_end():
+    """An overdraft must abort in-system and leave balances untouched."""
+    env = Environment()
+    system = QuorumSystem(env, SystemConfig(num_nodes=3))
+    wl = SmallbankWorkload(SmallbankConfig(num_accounts=4, seed=1))
+    records = wl.initial_records()
+    system.load(records)
+    src, dst = wl.checking(0), wl.checking(1)
+
+    def drain_everything(reads):
+        from repro.workloads import decode_balance, encode_balance
+        balance = decode_balance(reads[src])
+        if balance < 10 ** 9:       # absurd amount: must fail
+            return None
+        return {src: encode_balance(0)}
+
+    txn = Transaction(ops=[Op(OpType.UPDATE, src, b""),
+                           Op(OpType.UPDATE, dst, b"")],
+                      logic=drain_everything)
+    system.submit(txn)
+    env.run(until=10)
+    assert txn.status is TxnStatus.ABORTED
+    assert system.state.get(src)[0] == records[src]
+
+
+def test_fabric_read_only_txn_through_update_path_commits():
+    """A read-only transaction going through ordering must not conflict."""
+    env = Environment()
+    system = FabricSystem(env, SystemConfig(num_nodes=3))
+    system.load({"k": b"v"})
+    txn = Transaction.read("k")
+    system.submit(txn)
+    env.run(until=10)
+    assert txn.status is TxnStatus.COMMITTED
+
+
+def test_tidb_read_only_txn_skips_2pc():
+    env = Environment()
+    system = TiDBSystem(env, SystemConfig(num_nodes=3))
+    system.load({"k": b"v"})
+    txn = Transaction.read("k")
+    done = system.submit(txn)
+    env.run(until=5)
+    assert done.triggered and txn.status is TxnStatus.COMMITTED
+    assert system.pstore.prewrites == 0  # no write path taken
+
+
+def test_tidb_multi_key_commit_is_atomic():
+    env = Environment()
+    system = TiDBSystem(env, SystemConfig(num_nodes=3))
+    system.load({"x": b"0", "y": b"0"})
+    txn = Transaction(ops=[Op(OpType.UPDATE, "x", b"1"),
+                           Op(OpType.UPDATE, "y", b"1")])
+    system.submit(txn)
+    env.run(until=10)
+    assert txn.status is TxnStatus.COMMITTED
+    x_val, x_ver = system.cluster.state.get("x")
+    y_val, y_ver = system.cluster.state.get("y")
+    assert x_val == b"1" and y_val == b"1"
+    assert not system.pstore.locked_keys()  # no lock residue
+
+
+def test_fabric_num_orderers_fixed():
+    env = Environment()
+    system = FabricSystem(env, SystemConfig(num_nodes=7))
+    orderer_nodes = [n for n in system.nodes
+                     if n.name.startswith("orderer")]
+    assert len(orderer_nodes) == 3  # fixed while peers scale (paper 4.2)
+    peer_nodes = [n for n in system.nodes if n.name.startswith("peer")]
+    assert len(peer_nodes) == 7
+
+
+def test_quorum_exec_cost_grows_with_record_size():
+    env = Environment()
+    system = QuorumSystem(env, SystemConfig(num_nodes=3))
+    small = system._exec_cost(Transaction.write("k", b"x" * 10))
+    large = system._exec_cost(Transaction.write("k", b"x" * 5000))
+    assert large > 5 * small
+
+
+def test_ibft_quorum_system_uses_3f_plus_1():
+    env = Environment()
+    system = QuorumSystem(env, SystemConfig(num_nodes=7), consensus="ibft")
+    replica = next(iter(system.group.replicas.values()))
+    assert replica.f == 2
+    assert replica.quorum == 5

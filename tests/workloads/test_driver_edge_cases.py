@@ -1,0 +1,86 @@
+"""Driver edge cases: timeouts, infrastructure errors, phase recording."""
+
+import pytest
+
+from repro.txn import AbortReason, Transaction
+from repro.workloads import DriverConfig, YcsbConfig, YcsbWorkload, run_closed_loop
+
+
+class FlakySystem:
+    """Commits normally, but some submissions hang and some fail."""
+
+    def __init__(self, env, hang_every=0, error_every=0, delay=0.005):
+        self.env = env
+        self.hang_every = hang_every
+        self.error_every = error_every
+        self.delay = delay
+        self.count = 0
+
+    def submit(self, txn):
+        ev = self.env.event()
+        self.count += 1
+        if self.hang_every and self.count % self.hang_every == 0:
+            return ev  # never fires: client must time out
+        if self.error_every and self.count % self.error_every == 0:
+            ev.fail(RuntimeError("leader failover"))
+            return ev
+
+        def go():
+            txn.submitted_at = self.env.now
+            txn.phases["service"] = self.delay
+            yield self.env.timeout(self.delay)
+            txn.mark_committed()
+            ev.succeed(txn)
+
+        self.env.process(go())
+        return ev
+
+    submit_query = submit
+
+
+def test_driver_survives_hanging_submissions(env):
+    system = FlakySystem(env, hang_every=10)
+    wl = YcsbWorkload(YcsbConfig(record_count=50))
+    result = run_closed_loop(
+        env, system, wl.next_update,
+        DriverConfig(clients=8, warmup_txns=5, measure_txns=100,
+                     txn_timeout=0.5, max_sim_time=120))
+    assert result.measured == 100
+    assert result.timeouts > 0
+
+
+def test_driver_survives_failed_events(env):
+    system = FlakySystem(env, error_every=7)
+    wl = YcsbWorkload(YcsbConfig(record_count=50))
+    result = run_closed_loop(
+        env, system, wl.next_update,
+        DriverConfig(clients=8, warmup_txns=5, measure_txns=100,
+                     max_sim_time=60))
+    assert result.measured == 100  # errors skipped, not counted
+
+
+def test_driver_records_phases(env):
+    system = FlakySystem(env)
+    wl = YcsbWorkload(YcsbConfig(record_count=50))
+    result = run_closed_loop(
+        env, system, wl.next_update,
+        DriverConfig(clients=4, warmup_txns=2, measure_txns=50))
+    assert result.phase_means()["service"] == pytest.approx(0.005)
+
+
+def test_driver_zero_measured_returns_zero_tps(env):
+    class NeverSystem:
+        def __init__(self, env):
+            self.env = env
+
+        def submit(self, txn):
+            return self.env.event()  # hangs forever
+
+    system = NeverSystem(env)
+    wl = YcsbWorkload(YcsbConfig(record_count=50))
+    result = run_closed_loop(
+        env, system, wl.next_update,
+        DriverConfig(clients=2, warmup_txns=1, measure_txns=10,
+                     txn_timeout=0.1, max_sim_time=5))
+    assert result.tps == 0.0
+    assert result.measured == 0

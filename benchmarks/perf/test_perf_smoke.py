@@ -1,0 +1,42 @@
+"""Smoke-scale perf-regression gate (run explicitly: pytest benchmarks/perf).
+
+Budgets are deliberately loose (~10x the measured dev-box numbers) so the
+gate catches order-of-magnitude regressions — a reintroduced polling loop,
+an accidentally quadratic commit — without flaking on slow CI runners.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import SMOKE
+from repro.bench.perf import (bench_driver, bench_kernel, bench_mpt,
+                              bench_zipf)
+
+
+def test_kernel_events_per_sec_budget():
+    result = bench_kernel(events=50_000)
+    assert result["events_per_s"] > 50_000, result
+
+
+def test_mpt_batched_faster_and_equivalent():
+    result = bench_mpt(writes=5_000, block=100)
+    # root equality is asserted inside bench_mpt; here: batching must
+    # actually reduce hash work on prefix-shared keys.
+    assert result["batched"]["hashes"] < result["per_write"]["hashes"] / 2
+    assert result["batched"]["wall_s"] < result["per_write"]["wall_s"]
+
+
+def test_zipf_draw_rate_budget():
+    result = bench_zipf(draws=50_000, n=10_000, theta=0.99)
+    assert result["draws_per_s"] > 20_000, result
+
+
+def test_driver_smoke_wall_budget():
+    result = bench_driver(scale=SMOKE, seed=7)
+    # The seed code spent >1s of wall on a smoke point; post-overhaul a
+    # dev box does it in <0.1s.  Allow 10x headroom for CI.
+    assert result["wall_s"] < 1.5, result
+
+
+# The full smoke suite (run_perf) is exercised — with its own wall budget —
+# by the ``--perf --scale smoke --budget 120`` CI step and by the tier-1
+# CLI test; re-running it here would double the job's runtime.

@@ -58,6 +58,21 @@ class MerkleBucketTree:
         self._buckets[idx][key] = value
         self._dirty.add(idx)
 
+    # stage()/commit() protocol parity with MerklePatriciaTrie: MBT writes
+    # are inherently staged (dirty buckets fold into the root at commit()).
+    # Unlike the MPT overlay, staged MBT writes are immediately visible via
+    # get(), and ``staged`` below counts dirty *buckets*, not keys.
+    stage = put
+
+    @property
+    def staged(self) -> int:
+        """Number of dirty buckets awaiting the next commit.
+
+        Bucket granularity, not key granularity: many staged keys hashing
+        into the same bucket count once.
+        """
+        return len(self._dirty)
+
     def delete(self, key: bytes) -> None:
         idx = self.bucket_of(key)
         if key in self._buckets[idx]:

@@ -11,6 +11,20 @@ few dozen bytes.
 
 The root digest authenticates the full state; ``prove``/``verify_proof``
 produce and check the access-path integrity proofs of Section 3.3.2.
+
+Two write paths are exposed:
+
+* :meth:`MerklePatriciaTrie.put` — per-write: re-encodes and re-hashes the
+  leaf-to-root path immediately (the behaviour the paper's Figure 13
+  storage-blowup measurements rely on);
+* :meth:`MerklePatriciaTrie.stage` + :meth:`MerklePatriciaTrie.commit` —
+  batched, geth-style: writes accumulate against an in-memory dirty
+  overlay and ``commit()`` hashes each touched node **once**, so a block
+  of N writes sharing path prefixes costs far fewer hash computations
+  than N sequential ``put`` calls while producing the byte-identical
+  root digest.
+
+A decoded-node cache fronts the store so hot paths skip re-decoding.
 """
 
 from __future__ import annotations
@@ -121,6 +135,10 @@ class NodeStore:
         return sum(32 + len(blob) for blob in self._nodes.values())
 
 
+#: Decoded-node cache entries kept per trie before a wholesale reset.
+_NODE_CACHE_MAX = 200_000
+
+
 class MerklePatriciaTrie:
     """An MPT over byte-string keys and values."""
 
@@ -130,17 +148,33 @@ class MerklePatriciaTrie:
         self.root = root
         # hash-computation counter: systems charge crypto cost per node hash
         self.hashes_computed = 0
+        # digest -> decoded node; entries are immutable by convention
+        # (every mutation path copies before changing children).
+        self._cache: dict[bytes, tuple] = {}
+        # staged writes applied by commit(); last write per key wins
+        self._pending: dict[bytes, bytes] = {}
 
     # -- helpers ------------------------------------------------------------
 
     def _store(self, node: tuple) -> bytes:
         self.hashes_computed += 1
-        return self.store.put(_encode(node))
+        blob = _encode(node)
+        digest = self.store.put(blob)
+        if len(self._cache) >= _NODE_CACHE_MAX:
+            self._cache.clear()
+        self._cache[digest] = node
+        return digest
 
     def _load(self, digest: bytes) -> Optional[tuple]:
         if digest == EMPTY_ROOT or not digest:
             return None
-        return _decode(self.store.get(digest))
+        node = self._cache.get(digest)
+        if node is None:
+            node = _decode(self.store.get(digest))
+            if len(self._cache) >= _NODE_CACHE_MAX:
+                self._cache.clear()
+            self._cache[digest] = node
+        return node
 
     # -- public API ----------------------------------------------------------
 
@@ -148,11 +182,19 @@ class MerklePatriciaTrie:
         """Insert/overwrite ``key`` and return the new root digest."""
         if not key:
             raise ValueError("empty key")
+        if self._pending:
+            # This write supersedes any older staged write for the key —
+            # otherwise the stale staged value would clobber it at commit.
+            self._pending.pop(key, None)
         nibbles = _to_nibbles(key)
         self.root = self._insert(self.root, nibbles, value)
         return self.root
 
     def get(self, key: bytes) -> Optional[bytes]:
+        if self._pending:
+            staged = self._pending.get(key)
+            if staged is not None:
+                return staged
         node = self._load(self.root)
         nibbles = _to_nibbles(key)
         while node is not None:
@@ -175,6 +217,140 @@ class MerklePatriciaTrie:
             nibbles = nibbles[1:]
             node = self._load(bytes(child))
         return None
+
+    # -- batched commits ------------------------------------------------------
+
+    def stage(self, key: bytes, value: bytes) -> None:
+        """Buffer a write; :meth:`commit` folds all staged writes at once."""
+        if not key:
+            raise ValueError("empty key")
+        self._pending[key] = value
+
+    @property
+    def staged(self) -> int:
+        """Number of keys currently staged for the next commit."""
+        return len(self._pending)
+
+    def commit(self) -> bytes:
+        """Apply all staged writes, hashing each touched node exactly once.
+
+        Equivalent to calling :meth:`put` per staged key — the root digest
+        is byte-identical — but the dirty sub-trie is kept as plain
+        in-memory nodes while the batch is applied and only serialized +
+        hashed in a single bottom-up pass, geth-style.  Intermediate
+        versions of rewritten paths are therefore *not* written to the
+        store (a block commits one state transition, not N).
+        """
+        if not self._pending:
+            return self.root
+        ref: object = self.root
+        for key, value in self._pending.items():
+            ref = self._insert_mem(ref, _to_nibbles(key), value)
+        self._pending.clear()
+        self.root = self._flush(ref)
+        return self.root
+
+    # Dirty nodes are lists ([kind, ...], children may mix digests and
+    # dirty lists); clean nodes are referenced by digest (bytes).
+
+    def _load_mut(self, ref) -> Optional[list]:
+        """Resolve a node reference into a mutable (dirty) node, or None."""
+        if isinstance(ref, list):
+            return ref
+        node = self._load(bytes(ref))
+        if node is None:
+            return None
+        if node[0] == _BRANCH:
+            return [_BRANCH, list(node[1]), node[2]]
+        return [node[0], node[1], node[2]]
+
+    def _insert_mem(self, ref, nibbles: tuple[int, ...], value: bytes) -> list:
+        node = self._load_mut(ref)
+        if node is None:
+            return [_LEAF, nibbles, value]
+        kind = node[0]
+        if kind == _LEAF:
+            return self._merge_leaf_mem(node, nibbles, value)
+        if kind == _EXTENSION:
+            return self._descend_extension_mem(node, nibbles, value)
+        return self._descend_branch_mem(node, nibbles, value)
+
+    def _merge_leaf_mem(self, leaf: list, nibbles: tuple[int, ...],
+                        value: bytes) -> list:
+        existing_path, existing_value = leaf[1], leaf[2]
+        if existing_path == nibbles:
+            return [_LEAF, nibbles, value]
+        common = 0
+        while (common < len(existing_path) and common < len(nibbles)
+               and existing_path[common] == nibbles[common]):
+            common += 1
+        children: list = [b""] * 16
+        branch_value = None
+        for path, val in ((existing_path[common:], existing_value),
+                          (nibbles[common:], value)):
+            if not path:
+                branch_value = val
+            else:
+                children[path[0]] = [_LEAF, path[1:], val]
+        branch = [_BRANCH, children, branch_value]
+        if common:
+            return [_EXTENSION, nibbles[:common], branch]
+        return branch
+
+    def _descend_extension_mem(self, ext: list, nibbles: tuple[int, ...],
+                               value: bytes) -> list:
+        path, child_ref = ext[1], ext[2]
+        if isinstance(child_ref, (bytes, bytearray)):
+            child_ref = bytes(child_ref)
+        common = 0
+        while (common < len(path) and common < len(nibbles)
+               and path[common] == nibbles[common]):
+            common += 1
+        if common == len(path):
+            new_child = self._insert_mem(child_ref, nibbles[common:], value)
+            return [_EXTENSION, path, new_child]
+        children: list = [b""] * 16
+        branch_value = None
+        remainder = path[common:]
+        if len(remainder) == 1:
+            children[remainder[0]] = child_ref
+        else:
+            children[remainder[0]] = [_EXTENSION, remainder[1:], child_ref]
+        new_path = nibbles[common:]
+        if not new_path:
+            branch_value = value
+        else:
+            children[new_path[0]] = [_LEAF, new_path[1:], value]
+        branch = [_BRANCH, children, branch_value]
+        if common:
+            return [_EXTENSION, path[:common], branch]
+        return branch
+
+    def _descend_branch_mem(self, branch: list, nibbles: tuple[int, ...],
+                            value: bytes) -> list:
+        children = branch[1]
+        if not nibbles:
+            return [_BRANCH, children, value]
+        slot = nibbles[0]
+        child = children[slot]
+        if isinstance(child, (bytes, bytearray)):
+            child = bytes(child) if child else EMPTY_ROOT
+        children[slot] = self._insert_mem(child, nibbles[1:], value)
+        return [_BRANCH, children, branch[2]]
+
+    def _flush(self, ref) -> bytes:
+        """Serialize + hash a dirty sub-trie bottom-up, one hash per node."""
+        if not isinstance(ref, list):
+            return bytes(ref)
+        kind = ref[0]
+        if kind == _LEAF:
+            return self._store((_LEAF, ref[1], ref[2]))
+        if kind == _EXTENSION:
+            return self._store((_EXTENSION, ref[1], self._flush(ref[2])))
+        children = [child if isinstance(child, bytes) else
+                    (b"" if not child else self._flush(child))
+                    for child in ref[1]]
+        return self._store((_BRANCH, children, ref[2]))
 
     def _insert(self, digest: bytes, nibbles: tuple[int, ...],
                 value: bytes) -> bytes:

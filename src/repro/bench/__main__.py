@@ -5,6 +5,8 @@ Usage::
     python -m repro.bench fig4 fig13          # specific artifacts
     python -m repro.bench --all --scale smoke # everything, fast
     python -m repro.bench --list
+    python -m repro.bench --perf              # perf trajectory -> BENCH_<date>.json
+    python -m repro.bench --perf --scale smoke --budget 120
 
 Scales: smoke (seconds per artifact), bench (default), paper (closest to
 the paper's measurement sizes; minutes per artifact).
@@ -54,7 +56,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", choices=list(SCALES), default="bench")
     parser.add_argument("--list", action="store_true",
                         help="list artifact ids and exit")
+    parser.add_argument("--perf", action="store_true",
+                        help="run the perf-regression microbenchmarks and "
+                             "write a BENCH_<date>.json trajectory file")
+    parser.add_argument("--perf-out", default=".",
+                        help="directory for the BENCH_*.json file")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="with --perf: fail if total wall-clock "
+                             "exceeds this many seconds")
     args = parser.parse_args(argv)
+
+    if args.perf:
+        from .perf import format_perf, run_perf, write_trajectory
+        report = run_perf(scale=SCALES[args.scale])
+        print(format_perf(report))
+        path = write_trajectory(report, out_dir=args.perf_out)
+        print(f"wrote {path}")
+        if args.budget is not None and report["total_wall_s"] > args.budget:
+            print(f"PERF BUDGET EXCEEDED: {report['total_wall_s']}s "
+                  f"> {args.budget}s", file=sys.stderr)
+            return 1
+        return 0
 
     if args.list:
         for name in EXPERIMENTS:

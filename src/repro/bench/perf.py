@@ -1,0 +1,200 @@
+"""Wall-clock perf-regression harness.
+
+Microbenchmarks for the hot paths the simulator lives on — kernel event
+dispatch, authenticated-state writes, workload sampling, and the full
+closed-loop driver — plus a JSON trajectory emitter so every PR leaves a
+measured footprint behind.
+
+Usage::
+
+    python -m repro.bench --perf                  # bench scale, writes BENCH_<date>.json
+    python -m repro.bench --perf --scale smoke    # CI-sized, seconds
+    python -m repro.bench --perf --budget 120     # fail (exit 1) if over budget
+
+Reading ``BENCH_<date>.json``: every entry reports ``wall_s`` (seconds
+spent) and a throughput figure (``events_per_s``, ``writes_per_s``,
+``draws_per_s``, ``txns_per_s``).  Compare files across commits — the
+throughput figures should only go up; ``sim_tps``/``root`` fields are
+fingerprints that must stay *identical* for a given seed, catching
+accidental semantic drift inside a perf change.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from ..adt.mbt import MerkleBucketTree
+from ..adt.mpt import MerklePatriciaTrie
+from ..sim.kernel import Environment
+from ..workloads.zipf import ZipfGenerator
+from .harness import BENCH, SMOKE, Scale, run_point
+
+__all__ = ["bench_kernel", "bench_mpt", "bench_mbt", "bench_zipf",
+           "bench_driver", "run_perf", "write_trajectory"]
+
+
+def bench_kernel(events: int = 200_000) -> dict:
+    """Kernel dispatch rate: timer-driven ping-pong across processes."""
+    env = Environment()
+    counter = {"n": 0}
+
+    def ticker(period: float):
+        while counter["n"] < events:
+            yield env.timeout(period)
+            counter["n"] += 1
+
+    def canceller():
+        # exercise the cancellable-timer fast path like the driver does
+        while counter["n"] < events:
+            timer = env.timeout(60.0)
+            yield env.timeout(0.001)
+            timer.cancel()
+            counter["n"] += 1
+
+    for i in range(8):
+        env.process(ticker(0.0001 * (i + 1)))
+    env.process(canceller())
+    start = time.perf_counter()
+    env.run(until=1e9)
+    wall = time.perf_counter() - start
+    return {"name": "kernel", "events": counter["n"], "wall_s": round(wall, 4),
+            "events_per_s": round(counter["n"] / wall)}
+
+
+def bench_mpt(writes: int = 20_000, block: int = 100) -> dict:
+    """MPT write rate: per-write baseline vs batched block commits.
+
+    Uses workload-shaped keys (``user%012d`` — long shared prefixes, like
+    every system model stores) and asserts the two paths land on the
+    byte-identical root, so the harness doubles as a continuous
+    equivalence check.
+    """
+    import gc
+    keys = [b"user%012d" % i for i in range(writes)]
+    gc.collect()
+    per_write = MerklePatriciaTrie()
+    start = time.perf_counter()
+    for i, key in enumerate(keys):
+        per_write.put(key, b"value-%d" % i)
+    wall_per_write = time.perf_counter() - start
+    per_write_root = per_write.root
+    per_write_hashes = per_write.hashes_computed
+    del per_write
+    gc.collect()
+
+    batched = MerklePatriciaTrie()
+    start = time.perf_counter()
+    for i, key in enumerate(keys):
+        batched.stage(key, b"value-%d" % i)
+        if (i + 1) % block == 0:
+            batched.commit()
+    batched.commit()
+    wall_batched = time.perf_counter() - start
+
+    if per_write_root != batched.root:  # pragma: no cover - regression trap
+        raise AssertionError("batched MPT root diverged from per-write root")
+    return {
+        "name": "mpt", "writes": writes, "block": block,
+        "root": batched.root.hex(),
+        "wall_s": round(wall_per_write + wall_batched, 4),
+        "per_write": {"wall_s": round(wall_per_write, 4),
+                      "writes_per_s": round(writes / wall_per_write),
+                      "hashes": per_write_hashes},
+        "batched": {"wall_s": round(wall_batched, 4),
+                    "writes_per_s": round(writes / wall_batched),
+                    "hashes": batched.hashes_computed},
+        "writes_per_s": round(writes / wall_batched),
+        "speedup": round(wall_per_write / wall_batched, 2),
+    }
+
+
+def bench_mbt(writes: int = 50_000, block: int = 100) -> dict:
+    """MBT write rate with per-block batched root folds."""
+    tree = MerkleBucketTree(num_buckets=1000, fanout=4)
+    start = time.perf_counter()
+    for i in range(writes):
+        tree.stage(b"acct%d" % (i % 10_000), b"balance-%d" % i)
+        if (i + 1) % block == 0:
+            tree.commit()
+    tree.commit()
+    wall = time.perf_counter() - start
+    return {"name": "mbt", "writes": writes, "block": block,
+            "root": tree.root.hex(), "wall_s": round(wall, 4),
+            "writes_per_s": round(writes / wall)}
+
+
+def bench_zipf(draws: int = 500_000, n: int = 100_000,
+               theta: float = 0.99) -> dict:
+    """Workload sampling rate (alias method + Feistel scramble)."""
+    import random
+    gen = ZipfGenerator(n, theta=theta, rng=random.Random(42))
+    gen.next()  # force table construction outside the timed region
+    start = time.perf_counter()
+    acc = 0
+    for _ in range(draws):
+        acc += gen.next()
+    wall = time.perf_counter() - start
+    return {"name": "zipf", "draws": draws, "n": n, "theta": theta,
+            "checksum": acc, "wall_s": round(wall, 4),
+            "draws_per_s": round(draws / wall)}
+
+
+def bench_driver(scale: Scale = BENCH, seed: int = 7) -> dict:
+    """End-to-end driver rate: the acceptance microbenchmark —
+    ``run_point("quorum")`` at the given scale."""
+    start = time.perf_counter()
+    result = run_point("quorum", scale=scale, seed=seed)
+    wall = time.perf_counter() - start
+    return {"name": "driver", "system": "quorum", "scale": scale.name,
+            "seed": seed, "wall_s": round(wall, 4),
+            "txns_per_s": round(result.measured / wall) if wall else 0,
+            "sim_tps": result.tps, "measured": result.measured,
+            "mean_latency": result.stats.latency.mean}
+
+
+def run_perf(scale: Scale = BENCH) -> dict:
+    """Run every microbenchmark, scaled down for smoke runs."""
+    small = scale.name == "smoke"
+    results = [
+        bench_kernel(events=50_000 if small else 200_000),
+        bench_mpt(writes=5_000 if small else 20_000),
+        bench_mbt(writes=10_000 if small else 50_000),
+        bench_zipf(draws=100_000 if small else 500_000),
+        bench_driver(scale=SMOKE if small else scale),
+    ]
+    return {
+        "scale": scale.name,
+        "total_wall_s": round(sum(r["wall_s"] for r in results), 3),
+        "benchmarks": {r["name"]: r for r in results},
+    }
+
+
+def write_trajectory(report: dict, out_dir: str = ".") -> Path:
+    """Persist a ``BENCH_<YYYY-MM-DD>.json`` trajectory file."""
+    stamp = time.strftime("%Y-%m-%d")
+    path = Path(out_dir) / f"BENCH_{stamp}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    report = dict(report)
+    report["date"] = stamp
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def format_perf(report: dict) -> str:
+    lines = [f"perf trajectory ({report['scale']} scale, "
+             f"{report['total_wall_s']}s total wall)"]
+    for name, r in report["benchmarks"].items():
+        rate_key = next(k for k in ("events_per_s", "writes_per_s",
+                                    "draws_per_s", "txns_per_s") if k in r)
+        line = (f"  {name:8s} {r['wall_s']:>8.3f}s "
+                f"{r[rate_key]:>12,d} {rate_key.replace('_per_s', '/s')}")
+        if name == "mpt":
+            line += (f"   (batched {r['speedup']}x vs per-write, "
+                     f"{r['per_write']['hashes']} -> "
+                     f"{r['batched']['hashes']} hashes)")
+        if name == "driver":
+            line += f"   (sim tps {r['sim_tps']:,.1f})"
+        lines.append(line)
+    return "\n".join(lines)

@@ -6,6 +6,21 @@ each process when the event it waits on fires.  Time is a float in simulated
 seconds, and a run is fully deterministic for a given seed (randomness comes
 only from :mod:`repro.sim.rng` streams, never from the kernel itself).
 
+Hot-path design notes
+---------------------
+The kernel is the inner loop of every measurement point, so it trades a
+little generality for speed:
+
+* heap entries are 5-tuples ``(when, prio, seq, func, arg)`` where
+  ``func is None`` marks a plain event dispatch that :meth:`Environment.run`
+  inlines instead of paying a function call per event;
+* :class:`Timeout` is *cancellable*: a timer that lost its race (e.g. the
+  driver's per-transaction timeout) is dropped lazily from the heap and its
+  object recycled through a free list, so dead timers neither grow the heap
+  nor allocate;
+* :class:`Process` resumes *immediately* (same timestep, no heap round
+  trip) when it yields an event that has already been processed.
+
 Example
 -------
 >>> env = Environment()
@@ -59,7 +74,8 @@ class Event:
     ``value``) or with a failure exception that propagates into waiters.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_scheduled")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered",
+                 "_scheduled", "_cancelled")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -68,6 +84,7 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._scheduled = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -117,6 +134,14 @@ class Timeout(Event):
 
     It only becomes *triggered* when the clock reaches its due time — a
     pending timeout inside ``AnyOf``/``AllOf`` does not count as occurred.
+
+    A pending timeout can be :meth:`cancel`-led; a cancelled timeout never
+    triggers, its heap entry is dropped lazily, and the object may be
+    recycled by :meth:`Environment.timeout`.  **Contract:** after a
+    successful cancel() the handle is dead — do not inspect it and do not
+    call cancel() on it again.  Once the object has been recycled, a stale
+    handle aliases an unrelated live timer, so a second cancel() through
+    it would withdraw someone else's timeout.
     """
 
     __slots__ = ("delay",)
@@ -128,6 +153,23 @@ class Timeout(Event):
         self.delay = delay
         self._value = value
         env._schedule(self, delay)
+
+    def cancel(self) -> bool:
+        """Withdraw a pending timeout; returns False if it already fired.
+
+        Cancelling is O(1): the heap entry is skipped when popped (or
+        removed wholesale when cancelled entries pile up) and the object
+        goes back to the environment's free list for reuse.
+        """
+        if self._triggered or self._cancelled:
+            return False
+        self._cancelled = True
+        env = self.env
+        env._cancelled_count += 1
+        if env._cancelled_count > 64 \
+                and env._cancelled_count * 2 > len(env._queue):
+            env._compact()
+        return True
 
 
 class Process(Event):
@@ -175,39 +217,44 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         if self._triggered:
             return
-        self._target = None
-        try:
-            if event._ok:
-                nxt = self.generator.send(event._value)
-            else:
-                exc = event._value
-                nxt = self.generator.throw(exc)
-        except StopIteration as stop:
-            self._triggered = True
-            self._ok = True
-            self._value = stop.value
-            self.env._schedule(self)
-            return
-        except BaseException as exc:  # propagate into waiters, or crash the run
-            self._triggered = True
-            self._ok = False
-            self._value = exc
-            if self.callbacks:
+        generator = self.generator
+        while True:
+            self._target = None
+            try:
+                if event._ok:
+                    nxt = generator.send(event._value)
+                else:
+                    exc = event._value
+                    nxt = generator.throw(exc)
+            except StopIteration as stop:
+                self._triggered = True
+                self._ok = True
+                self._value = stop.value
                 self.env._schedule(self)
-            else:
-                self.callbacks = None
-                raise
+                return
+            except BaseException as exc:  # propagate into waiters, or crash
+                self._triggered = True
+                self._ok = False
+                self._value = exc
+                if self.callbacks:
+                    self.env._schedule(self)
+                else:
+                    self.callbacks = None
+                    raise
+                return
+            if not isinstance(nxt, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded non-event: {nxt!r}"
+                )
+            callbacks = nxt.callbacks
+            if callbacks is None:
+                # Already processed: resume immediately (same timestep),
+                # skipping the heap round-trip.
+                event = nxt
+                continue
+            self._target = nxt
+            callbacks.append(self._resume)
             return
-        if not isinstance(nxt, Event):
-            raise SimulationError(
-                f"process {self.name!r} yielded non-event: {nxt!r}"
-            )
-        self._target = nxt
-        if nxt.callbacks is None:
-            # Already processed: resume immediately (same timestep).
-            self.env._schedule_call(self._resume, nxt)
-        else:
-            nxt.callbacks.append(self._resume)
 
 
 class _Condition(Event):
@@ -219,12 +266,13 @@ class _Condition(Event):
         super().__init__(env)
         self.events = list(events)
         self._pending = 0
+        check = self._check
         for ev in self.events:
             if ev.callbacks is None:
-                self._check(ev)
+                check(ev)
             else:
                 self._pending += 1
-                ev.callbacks.append(self._check)
+                ev.callbacks.append(check)
         self._post_init()
 
     def _post_init(self) -> None:
@@ -243,7 +291,11 @@ class AllOf(_Condition):
     __slots__ = ()
 
     def _post_init(self) -> None:
-        if not self._triggered and self._pending == 0:
+        # _pending can be negative here (already-processed components
+        # decremented it via _check before pending ones incremented it),
+        # so the authoritative barrier is all-triggered, not the counter.
+        if not self._triggered and self._pending <= 0 \
+                and all(ev._triggered for ev in self.events):
             self.succeed([ev._value for ev in self.events])
 
     def _check(self, event: Event) -> None:
@@ -283,13 +335,19 @@ class AnyOf(_Condition):
             self.fail(event._value)
 
 
+#: Cap on recycled Timeout objects kept per environment.
+_TIMEOUT_POOL_MAX = 4096
+
+
 class Environment:
     """The simulation clock and scheduler."""
 
     def __init__(self, initial_time: float = 0.0):
         self.now: float = initial_time
-        self._queue: list[tuple[float, int, int, Callable, Any]] = []
+        self._queue: list[tuple[float, int, int, Optional[Callable], Any]] = []
         self._seq = 0
+        self._cancelled_count = 0
+        self._timeout_pool: list[Timeout] = []
 
     # -- scheduling -------------------------------------------------------
 
@@ -298,9 +356,8 @@ class Environment:
             return
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(
-            self._queue, (self.now + delay, 0, self._seq, self._dispatch, event)
-        )
+        heapq.heappush(self._queue,
+                       (self.now + delay, 0, self._seq, None, event))
 
     def _schedule_call(self, func: Callable, arg: Any, delay: float = 0.0) -> None:
         self._seq += 1
@@ -314,12 +371,50 @@ class Environment:
             for callback in callbacks:
                 callback(event)
 
+    def _reap(self, event: Event) -> None:
+        """Account a cancelled entry dropped from the heap; recycle it."""
+        self._cancelled_count -= 1
+        pool = self._timeout_pool
+        if type(event) is Timeout and len(pool) < _TIMEOUT_POOL_MAX:
+            pool.append(event)
+
+    def _compact(self) -> None:
+        """Remove all cancelled entries from the heap in one pass.
+
+        Mutates the queue in place: ``run()`` holds a local alias to the
+        list, so rebinding ``self._queue`` would desynchronize them.
+        """
+        queue = self._queue
+        keep = []
+        for item in queue:
+            event = item[4]
+            if item[3] is None and event._cancelled:
+                self._reap(event)
+            else:
+                keep.append(item)
+        queue[:] = keep
+        heapq.heapify(queue)
+
     # -- public API -------------------------------------------------------
 
     def event(self) -> Event:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay: {delay!r}")
+            timer = pool.pop()
+            timer.callbacks = []
+            timer._value = value
+            timer._ok = True
+            timer._triggered = False
+            timer._scheduled = False
+            timer._cancelled = False
+            timer.delay = delay
+            self._schedule(timer, delay)
+            return timer
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -331,36 +426,63 @@ class Environment:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
-    def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue drains or simulated time reaches ``until``."""
+    def run(self, until: Optional[float] = None,
+            stop: Optional[Event] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        If ``stop`` is given, the loop also exits as soon as that event has
+        triggered (checked after every callback); in that case ``now`` stays
+        at the current event time instead of jumping to ``until``.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self.now})"
+            )
         queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            item = queue[0]
+            when = item[0]
+            if until is not None and when > until:
+                break
+            pop(queue)
+            func = item[3]
+            if func is None:
+                event = item[4]
+                if event._cancelled:
+                    self._reap(event)
+                    continue
+                self.now = when
+                event._triggered = True
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+            else:
+                self.now = when
+                func(item[4])
+            if stop is not None and stop._triggered:
+                return
         if until is not None:
-            if until < self.now:
-                raise SimulationError(
-                    f"run(until={until}) is in the past (now={self.now})"
-                )
-            while queue:
-                when, _prio, _seq, func, arg = queue[0]
-                if when > until:
-                    break
-                heapq.heappop(queue)
-                self.now = when
-                func(arg)
             self.now = until
-        else:
-            while queue:
-                when, _prio, _seq, func, arg = heapq.heappop(queue)
-                self.now = when
-                func(arg)
 
     def step(self) -> None:
         """Process a single scheduled callback (mostly for tests)."""
-        if not self._queue:
-            raise SimulationError("empty schedule")
-        when, _prio, _seq, func, arg = heapq.heappop(self._queue)
-        self.now = when
-        func(arg)
+        queue = self._queue
+        while queue:
+            when, _prio, _seq, func, arg = heapq.heappop(queue)
+            if func is None and arg._cancelled:
+                self._reap(arg)
+                continue
+            self.now = when
+            if func is None:
+                self._dispatch(arg)
+            else:
+                func(arg)
+            return
+        raise SimulationError("empty schedule")
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        """Number of live (non-cancelled) scheduled entries."""
+        return len(self._queue) - self._cancelled_count

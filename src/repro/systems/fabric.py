@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..adt.mbt import MerkleBucketTree
 from ..concurrency.occ import OccSimulator, OccValidator, endorsements_consistent
 from ..consensus.sharedlog import OrderingService, SharedLogConfig
 from ..sim.kernel import Environment, Event
@@ -42,13 +43,16 @@ __all__ = ["FabricSystem"]
 class _Peer:
     """One endorsing/committing peer with its own state and ledger."""
 
-    def __init__(self, system: "FabricSystem", node):
+    def __init__(self, system: "FabricSystem", node, state_tree=None):
         self.system = system
         self.node = node
         self.state = VersionedStore()
         self.simulator = OccSimulator(self.state)
         self.validator = OccValidator(self.state)
-        self.ledger = Ledger()
+        # Optional real Merkle Bucket Tree (Fabric v0.6 state organization):
+        # writes stage per committed txn, fold into the root once per block.
+        self.state_tree = state_tree
+        self.ledger = Ledger(state=state_tree)
         self.validation_thread = Resource(system.env, 1)
         self.query_pool = Resource(system.env,
                                    system.costs.fabric_query_pool)
@@ -62,10 +66,17 @@ class FabricSystem(TransactionalSystem):
 
     def __init__(self, env: Environment, config: Optional[SystemConfig] = None,
                  endorsement_policy: Optional[int] = None,
-                 serial_validation: bool = True):
+                 serial_validation: bool = True,
+                 real_state: bool = False):
         super().__init__(env, config)
+        self.real_state = real_state
         peer_nodes = self._new_nodes(self.config.num_nodes, "peer")
-        self.peers = [_Peer(self, node) for node in peer_nodes]
+        # Only the reference peer carries the real MBT (replicas would
+        # compute the identical root — pure wall-clock waste).
+        self.peers = [_Peer(self, node,
+                            state_tree=(MerkleBucketTree() if real_state
+                                        and i == 0 else None))
+                      for i, node in enumerate(peer_nodes)]
         # Endorsement policy: how many peers must endorse (default: all).
         self.endorsement_policy = (endorsement_policy
                                    if endorsement_policy is not None
@@ -97,6 +108,10 @@ class FabricSystem(TransactionalSystem):
         for peer in self.peers:
             for key, value in records.items():
                 peer.state.put(key, value, 0)
+            if peer.state_tree is not None:
+                for key, value in records.items():
+                    peer.state_tree.stage(key.encode(), value)
+                peer.state_tree.commit()  # one batched genesis commit
 
     # -- update path -------------------------------------------------------------------
 
@@ -211,6 +226,9 @@ class FabricSystem(TransactionalSystem):
                     ok = peer.validator.validate_and_commit(copy, block_version)
                 if ok:
                     committed.append(txn)
+                    if peer.state_tree is not None:
+                        for key, value in txn.write_set.items():
+                            peer.ledger.stage_write(key.encode(), value)
                     yield from peer.validation_thread.serve(
                         self.costs.fabric_commit_per_txn)
             peer.ledger.append_block(

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
+from ..adt.mpt import MerklePatriciaTrie
 from ..concurrency.serial import SerialExecutor
 from ..consensus.ibft import IbftConfig, IbftGroup
 from ..consensus.raft import RaftConfig, RaftGroup
@@ -39,7 +40,7 @@ class QuorumSystem(TransactionalSystem):
     name = "quorum"
 
     def __init__(self, env: Environment, config: Optional[SystemConfig] = None,
-                 consensus: str = "raft"):
+                 consensus: str = "raft", real_state: bool = False):
         super().__init__(env, config)
         if consensus not in ("raft", "ibft"):
             raise ValueError(f"unknown consensus {consensus!r}")
@@ -59,7 +60,13 @@ class QuorumSystem(TransactionalSystem):
                 rng=self.rng)
         self.state = VersionedStore()
         self.executor = SerialExecutor(self.state)
-        self.ledger = Ledger()
+        # real_state=True maintains an actual MPT alongside the calibrated
+        # cost model: writes are staged per transaction and batch-committed
+        # once per sealed block, stamping a verifiable state root into each
+        # block header (timing is still charged via mpt_update_time).
+        self.real_state = real_state
+        self.state_trie = MerklePatriciaTrie() if real_state else None
+        self.ledger = Ledger(state=self.state_trie)
         self.mempool: deque[tuple[Transaction, Event]] = deque()
         self._mempool_signal: Optional[Event] = None
         # Single-threaded EVM per node.
@@ -76,6 +83,10 @@ class QuorumSystem(TransactionalSystem):
     def load(self, records: dict[str, bytes]) -> None:
         for key, value in records.items():
             self.state.put(key, value, 0)
+        if self.state_trie is not None:
+            for key, value in records.items():
+                self.state_trie.stage(key.encode(), value)
+            self.state_trie.commit()  # one batched genesis commit
 
     # -- cost helpers ------------------------------------------------------------------
 
@@ -152,8 +163,13 @@ class QuorumSystem(TransactionalSystem):
                                      + self._exec_cost(txn))
                 self._version += 1
                 self.executor.execute(txn, self._version)
+                if self.state_trie is not None:
+                    for key, value in txn.write_set.items():
+                        self.ledger.stage_write(key.encode(), value)
                 txn.phases["commit"] = self.env.now - commit_start
                 self._finish(done, txn)
+            # append_block batch-commits the staged MPT writes (one hash
+            # per touched path for the whole block) into the state root.
             self.ledger.append_block(block_txns, timestamp=self.env.now)
             self.blocks_minted += 1
 

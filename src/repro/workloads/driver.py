@@ -23,6 +23,10 @@ __all__ = ["DriverConfig", "RunResult", "run_closed_loop", "measure_system"]
 @dataclass
 class DriverConfig:
     clients: int = 64
+    # Completions 1..warmup_txns-1 are warm-up and discarded; the
+    # measurement clock starts when the last warm-up transaction completes
+    # (at run start for warmup_txns <= 1), and completion number
+    # warmup_txns is the first *measured* transaction.
     warmup_txns: int = 200
     measure_txns: int = 2000
     max_sim_time: float = 600.0
@@ -70,6 +74,7 @@ def run_closed_loop(
     stats = TxnStats()
     state = {
         "completed": 0,
+        "run_started_at": env.now,
         "measure_started_at": None,
         "measure_count": 0,
         "measure_committed": 0,
@@ -81,10 +86,18 @@ def run_closed_loop(
 
     def record(txn: Transaction) -> None:
         state["completed"] += 1
-        if state["completed"] == cfg.warmup_txns:
-            state["measure_started_at"] = env.now
-            return
-        if state["measure_started_at"] is None or state["done"]:
+        if state["measure_started_at"] is None:
+            last_warmup = cfg.warmup_txns - 1
+            if state["completed"] <= last_warmup:
+                if state["completed"] == last_warmup:
+                    # The last warm-up completion starts the measurement
+                    # clock; the *next* completion is the first measured.
+                    state["measure_started_at"] = env.now
+                return
+            # warmup_txns <= 1: no warm-up phase — the window covers the
+            # whole run and this very completion is measured.
+            state["measure_started_at"] = state["run_started_at"]
+        if state["done"]:
             return
         state["measure_count"] += 1
         latency = env.now - txn.submitted_at
@@ -116,8 +129,16 @@ def run_closed_loop(
                 yield env.any_of([ev, timer])
             except Exception:
                 continue  # infrastructure error (e.g. leader failover)
+            finally:
+                # Withdraw the losing timer so completed transactions don't
+                # each leave a dead heap entry behind for txn_timeout secs.
+                timer.cancel()
             if not ev.triggered:
-                state["timeouts"] += 1
+                # Count timeouts observed before measurement completed;
+                # post-measurement stragglers are not part of the result
+                # (the run stops at the watchdog and never sees them).
+                if not state["done"]:
+                    state["timeouts"] += 1
                 continue
             if not ev.ok:
                 continue
@@ -128,13 +149,20 @@ def run_closed_loop(
                     name=f"driver-client-{i}")
 
     def watchdog():
-        yield env.any_of([finished, env.timeout(cfg.max_sim_time)])
+        wall = env.timeout(cfg.max_sim_time)
+        yield env.any_of([finished, wall])
+        wall.cancel()
         state["done"] = True
         if state["finished_at"] is None:
             state["finished_at"] = env.now
 
-    env.process(watchdog(), name="driver-watchdog")
-    env.run(until=cfg.max_sim_time + cfg.txn_timeout + 1.0)
+    watchdog_proc = env.process(watchdog(), name="driver-watchdog")
+    # Stop simulating as soon as the watchdog fires: every statistic in the
+    # RunResult is final by then, and draining the remaining event horizon
+    # (idle consensus timers, heartbeats, stragglers) is pure wall-clock
+    # waste — it used to dominate short runs.
+    env.run(until=cfg.max_sim_time + cfg.txn_timeout + 1.0,
+            stop=watchdog_proc)
 
     started = state["measure_started_at"]
     ended = state["finished_at"] if state["finished_at"] is not None else env.now

@@ -1,0 +1,192 @@
+"""Batched MPT commits: root equivalence with the per-write path."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adt.mpt import EMPTY_ROOT, MerklePatriciaTrie, verify_proof
+
+
+def key_of(i: int) -> bytes:
+    return hashlib.md5(f"key{i}".encode()).digest()
+
+
+def test_stage_commit_single_key():
+    trie = MerklePatriciaTrie()
+    trie.stage(b"\xab\xcd", b"value")
+    assert trie.staged == 1
+    root = trie.commit()
+    assert trie.staged == 0
+    assert root == trie.root != EMPTY_ROOT
+    assert trie.get(b"\xab\xcd") == b"value"
+
+
+def test_empty_commit_is_noop():
+    trie = MerklePatriciaTrie()
+    assert trie.commit() == EMPTY_ROOT
+    trie.put(b"\x01", b"a")
+    root = trie.root
+    assert trie.commit() == root
+
+
+def test_stage_rejects_empty_key():
+    with pytest.raises(ValueError):
+        MerklePatriciaTrie().stage(b"", b"v")
+
+
+def test_staged_value_visible_before_commit():
+    trie = MerklePatriciaTrie()
+    trie.put(b"\x01", b"committed")
+    trie.stage(b"\x01", b"staged")
+    trie.stage(b"\x02", b"fresh")
+    assert trie.get(b"\x01") == b"staged"
+    assert trie.get(b"\x02") == b"fresh"
+    assert trie.get(b"\x03") is None
+
+
+def test_last_staged_write_wins():
+    trie = MerklePatriciaTrie()
+    trie.stage(b"\x01", b"first")
+    trie.stage(b"\x01", b"second")
+    trie.commit()
+    assert trie.get(b"\x01") == b"second"
+
+    reference = MerklePatriciaTrie()
+    reference.put(b"\x01", b"second")
+    assert trie.root == reference.root
+
+
+def test_batched_root_matches_per_write_sequence():
+    items = [(key_of(i), f"v{i}".encode()) for i in range(300)]
+    per_write = MerklePatriciaTrie()
+    for k, v in items:
+        per_write.put(k, v)
+    batched = MerklePatriciaTrie()
+    for k, v in items:
+        batched.stage(k, v)
+    batched.commit()
+    assert per_write.root == batched.root
+
+
+def test_multi_block_commits_match_per_write():
+    per_write = MerklePatriciaTrie()
+    batched = MerklePatriciaTrie()
+    for block in range(10):
+        for i in range(50):
+            key = key_of(block * 50 + i)
+            value = b"blk%d-%d" % (block, i)
+            per_write.put(key, value)
+            batched.stage(key, value)
+        assert batched.commit() == per_write.root
+
+
+def test_batched_commit_hashes_each_path_once():
+    """A block of prefix-sharing writes must hash far fewer nodes than
+    the per-write path (the whole point of batching)."""
+    keys = [b"user%012d" % i for i in range(500)]
+    per_write = MerklePatriciaTrie()
+    for k in keys:
+        per_write.put(k, b"v")
+    batched = MerklePatriciaTrie()
+    for k in keys:
+        batched.stage(k, b"v")
+    batched.commit()
+    assert batched.root == per_write.root
+    assert batched.hashes_computed < per_write.hashes_computed / 2
+
+
+def test_batched_store_skips_intermediate_versions():
+    keys = [key_of(i) for i in range(100)]
+    per_write = MerklePatriciaTrie()
+    for k in keys:
+        per_write.put(k, b"v")
+    batched = MerklePatriciaTrie()
+    for k in keys:
+        batched.stage(k, b"v")
+    batched.commit()
+    assert len(batched.store) < len(per_write.store)
+
+
+def test_proofs_verify_after_batched_commit():
+    trie = MerklePatriciaTrie()
+    for i in range(100):
+        trie.stage(key_of(i), f"v{i}".encode())
+    trie.commit()
+    proof = trie.prove(key_of(42))
+    assert verify_proof(trie.root, key_of(42), b"v42", proof)
+
+
+def test_put_supersedes_older_staged_write():
+    """A put() after a stage() of the same key must win (it is newer)."""
+    trie = MerklePatriciaTrie()
+    trie.stage(b"\x01", b"staged-old")
+    trie.put(b"\x01", b"put-new")
+    assert trie.get(b"\x01") == b"put-new"
+    trie.commit()  # must NOT resurrect the stale staged value
+    assert trie.get(b"\x01") == b"put-new"
+    reference = MerklePatriciaTrie()
+    reference.put(b"\x01", b"put-new")
+    assert trie.root == reference.root
+
+
+def test_mixed_put_and_stage_interleave():
+    """put() between commits must compose with staged batches."""
+    reference = MerklePatriciaTrie()
+    mixed = MerklePatriciaTrie()
+    reference.put(b"\x01", b"a")
+    mixed.put(b"\x01", b"a")
+    mixed.stage(b"\x02", b"b")
+    mixed.commit()
+    reference.put(b"\x02", b"b")
+    mixed.put(b"\x03", b"c")
+    reference.put(b"\x03", b"c")
+    assert mixed.root == reference.root
+
+
+def test_historical_roots_remain_readable_after_batched_commits():
+    trie = MerklePatriciaTrie()
+    trie.stage(b"\x01", b"old")
+    old_root = trie.commit()
+    trie.stage(b"\x01", b"new")
+    trie.commit()
+    historical = MerklePatriciaTrie(store=trie.store, root=old_root)
+    assert historical.get(b"\x01") == b"old"
+    assert trie.get(b"\x01") == b"new"
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.binary(min_size=1, max_size=6),
+                          st.binary(min_size=0, max_size=12)),
+                min_size=1, max_size=40),
+       st.integers(1, 7))
+def test_batched_equivalence_randomized(items, block_size):
+    """Randomized insert/update sequences, arbitrary block boundaries:
+    the batched root must always equal the per-write root."""
+    per_write = MerklePatriciaTrie()
+    batched = MerklePatriciaTrie()
+    for i, (k, v) in enumerate(items):
+        per_write.put(k, v)
+        batched.stage(k, v)
+        if (i + 1) % block_size == 0:
+            batched.commit()
+    batched.commit()
+    assert per_write.root == batched.root
+    for k, v in dict(items).items():
+        assert batched.get(k) == v
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.dictionaries(st.binary(min_size=1, max_size=8),
+                       st.binary(min_size=0, max_size=16),
+                       min_size=1, max_size=30))
+def test_node_cache_transparent(model):
+    """Reads through the decoded-node cache equal cold-store reads."""
+    trie = MerklePatriciaTrie()
+    for k, v in model.items():
+        trie.put(k, v)
+    cold = MerklePatriciaTrie(store=trie.store, root=trie.root)
+    for k, v in model.items():
+        assert trie.get(k) == v
+        assert cold.get(k) == v

@@ -1,0 +1,57 @@
+"""Tests for the perf-regression harness and its CLI entry point."""
+
+import json
+
+from repro.bench.__main__ import main
+from repro.bench.perf import (bench_kernel, bench_mpt, bench_zipf,
+                              format_perf, run_perf, write_trajectory)
+
+
+def test_bench_kernel_reports_rate():
+    result = bench_kernel(events=2_000)
+    assert result["events"] >= 2_000
+    assert result["events_per_s"] > 0
+
+
+def test_bench_mpt_equivalence_guard():
+    result = bench_mpt(writes=500, block=50)
+    assert result["per_write"]["hashes"] > result["batched"]["hashes"]
+    assert len(result["root"]) == 64  # hex sha256
+
+
+def test_bench_zipf_checksum_deterministic():
+    a = bench_zipf(draws=5_000, n=1_000, theta=0.9)
+    b = bench_zipf(draws=5_000, n=1_000, theta=0.9)
+    assert a["checksum"] == b["checksum"]  # fixed rng seed => same stream
+
+
+def test_trajectory_file_roundtrip(tmp_path):
+    report = {"scale": "smoke", "total_wall_s": 1.0,
+              "benchmarks": {"kernel": {"name": "kernel", "wall_s": 1.0,
+                                        "events_per_s": 1}}}
+    path = write_trajectory(report, out_dir=str(tmp_path))
+    assert path.name.startswith("BENCH_") and path.suffix == ".json"
+    data = json.loads(path.read_text())
+    assert data["date"] in path.name
+    assert data["benchmarks"]["kernel"]["events_per_s"] == 1
+    assert format_perf(data).startswith("perf trajectory")
+
+
+def test_cli_perf_smoke_writes_trajectory(tmp_path, capsys):
+    code = main(["--perf", "--scale", "smoke",
+                 "--perf-out", str(tmp_path), "--budget", "300"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "perf trajectory" in out
+    files = list(tmp_path.glob("BENCH_*.json"))
+    assert len(files) == 1
+    data = json.loads(files[0].read_text())
+    assert set(data["benchmarks"]) == {"kernel", "mpt", "mbt", "zipf",
+                                       "driver"}
+
+
+def test_cli_perf_budget_violation_fails(tmp_path, capsys):
+    code = main(["--perf", "--scale", "smoke",
+                 "--perf-out", str(tmp_path), "--budget", "0.000001"])
+    assert code == 1
+    assert "PERF BUDGET EXCEEDED" in capsys.readouterr().err

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.kernel import Environment
+from repro.sim.kernel import Environment, Interrupt
 from repro.sim.resources import Resource, Store
 
 
@@ -132,24 +132,28 @@ def test_store_immediate_get_when_item_queued(env):
 
 
 def test_serve_releases_on_exception(env):
+    """An exception thrown mid-service must still release the slot."""
     res = Resource(env, capacity=1)
 
-    def crasher(env):
+    def holder(env):
         try:
-            gen = res.serve(1.0)
-            req = next(gen)
-            yield req
-            raise RuntimeError("interrupted work")
-        except RuntimeError:
-            # serve()'s finally should have been bypassed here because we
-            # drove the generator manually; emulate cleanup
-            res.release(req.value)
+            yield from res.serve(10.0)
+        except Interrupt:
+            pass  # serve()'s finally has released the slot
 
     def after(env):
         yield from res.serve(0.5)
         return env.now
 
-    env.process(crasher(env))
+    held = env.process(holder(env))
+
+    def breaker(env):
+        yield env.timeout(1.0)
+        held.interrupt("stop")
+
+    env.process(breaker(env))
     proc = env.process(after(env))
     env.run()
     assert proc.triggered
+    assert res.in_use == 0
+    assert proc.value == 1.5  # waited for the interrupt, then served 0.5

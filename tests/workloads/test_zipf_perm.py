@@ -1,0 +1,78 @@
+"""Feistel scramble bijectivity + alias-sampler properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.zipf import ZipfGenerator
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 63, 100,
+                               1000, 2049, 4096])
+def test_scramble_is_a_permutation(n):
+    gen = ZipfGenerator(n, theta=0.5)
+    image = sorted(gen._scramble(i) for i in range(n))
+    assert image == list(range(n))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 3000))
+def test_scramble_bijective_for_any_n(n):
+    gen = ZipfGenerator(n, theta=0.0)
+    assert len({gen._scramble(i) for i in range(n)}) == n
+
+
+def test_scramble_deterministic_across_instances():
+    a = ZipfGenerator(997, theta=0.9)
+    b = ZipfGenerator(997, theta=0.2)  # theta must not affect the mapping
+    assert [a._scramble(i) for i in range(997)] == \
+        [b._scramble(i) for i in range(997)]
+
+
+def test_scramble_actually_scrambles():
+    gen = ZipfGenerator(1000, theta=1.0)
+    assert [gen._scramble(i) for i in range(10)] != list(range(10))
+
+
+def test_unscrambled_passthrough():
+    gen = ZipfGenerator(50, theta=1.0, scrambled=False)
+    assert [gen._scramble(i) for i in range(50)] == list(range(50))
+
+
+def test_alias_tables_shared_across_instances():
+    g1 = ZipfGenerator(5000, theta=0.7)
+    g2 = ZipfGenerator(5000, theta=0.7)
+    assert g1._prob is g2._prob  # one table, many closed-loop clients
+    assert g1._alias is g2._alias
+
+
+def test_alias_sampler_matches_pmf():
+    n, theta = 50, 1.0
+    gen = ZipfGenerator(n, theta=theta, rng=random.Random(7),
+                        scrambled=False)
+    draws = 200_000
+    counts = [0] * n
+    for _ in range(draws):
+        counts[gen.next_rank()] += 1
+    for rank in (0, 1, 5, 20):
+        empirical = counts[rank] / draws
+        assert empirical == pytest.approx(gen.probability(rank), abs=0.01)
+
+
+def test_one_uniform_variate_per_draw():
+    """The alias draw consumes exactly one rng.random() call, keeping
+    downstream stream positions stable for other rng users."""
+    class CountingRandom(random.Random):
+        calls = 0
+
+        def random(self):
+            self.calls += 1
+            return super().random()
+
+    rng = CountingRandom(3)
+    gen = ZipfGenerator(100, theta=0.9, rng=rng)
+    for _ in range(500):
+        gen.next()
+    assert rng.calls == 500

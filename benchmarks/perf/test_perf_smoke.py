@@ -40,3 +40,12 @@ def test_driver_smoke_wall_budget():
 # The full smoke suite (run_perf) is exercised — with its own wall budget —
 # by the ``--perf --scale smoke --budget 120`` CI step and by the tier-1
 # CLI test; re-running it here would double the job's runtime.
+
+
+def test_fabric_smoke_wall_budget():
+    from repro.bench.perf import bench_fabric
+    result = bench_fabric(scale=SMOKE, seed=7)
+    # Measured ~0.7s on a dev box (endorsement fan-out dominated); 10x
+    # headroom for CI — catches a reintroduced polling loop or a
+    # quadratic validation pipeline.
+    assert result["wall_s"] < 7.0, result

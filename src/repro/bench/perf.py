@@ -32,11 +32,17 @@ from ..workloads.zipf import ZipfGenerator
 from .harness import BENCH, SMOKE, Scale, run_point
 
 __all__ = ["bench_kernel", "bench_mpt", "bench_mbt", "bench_zipf",
-           "bench_driver", "run_perf", "write_trajectory"]
+           "bench_driver", "bench_fabric", "run_perf", "write_trajectory"]
 
 
-def bench_kernel(events: int = 200_000) -> dict:
+def bench_kernel(events: int = 200_000, _timed: bool = True) -> dict:
     """Kernel dispatch rate: timer-driven ping-pong across processes."""
+    if _timed:
+        # Warm allocator/caches outside the timed region (first-run cold
+        # start costs ~30% and would gate PRs on scheduler noise).
+        import gc
+        bench_kernel(events=min(events, 20_000), _timed=False)
+        gc.collect()
     env = Environment()
     counter = {"n": 0}
 
@@ -141,17 +147,29 @@ def bench_zipf(draws: int = 500_000, n: int = 100_000,
             "draws_per_s": round(draws / wall)}
 
 
-def bench_driver(scale: Scale = BENCH, seed: int = 7) -> dict:
-    """End-to-end driver rate: the acceptance microbenchmark —
-    ``run_point("quorum")`` at the given scale."""
+def _bench_point(name: str, system: str, scale: Scale, seed: int) -> dict:
+    """Time one ``run_point`` and report its wall rate + sim fingerprint."""
     start = time.perf_counter()
-    result = run_point("quorum", scale=scale, seed=seed)
+    result = run_point(system, scale=scale, seed=seed)
     wall = time.perf_counter() - start
-    return {"name": "driver", "system": "quorum", "scale": scale.name,
+    return {"name": name, "system": system, "scale": scale.name,
             "seed": seed, "wall_s": round(wall, 4),
             "txns_per_s": round(result.measured / wall) if wall else 0,
             "sim_tps": result.tps, "measured": result.measured,
             "mean_latency": result.stats.latency.mean}
+
+
+def bench_driver(scale: Scale = BENCH, seed: int = 7) -> dict:
+    """End-to-end driver rate: the acceptance microbenchmark —
+    ``run_point("quorum")`` at the given scale."""
+    return _bench_point("driver", "quorum", scale, seed)
+
+
+def bench_fabric(scale: Scale = BENCH, seed: int = 7) -> dict:
+    """Fabric-path driver rate: endorsement fan-out at every peer, the
+    Raft-backed ordering service, and the serial validation pipeline —
+    the hottest burst-heavy loop after Quorum's EVM."""
+    return _bench_point("fabric", "fabric", scale, seed)
 
 
 def run_perf(scale: Scale = BENCH) -> dict:
@@ -163,6 +181,7 @@ def run_perf(scale: Scale = BENCH) -> dict:
         bench_mbt(writes=10_000 if small else 50_000),
         bench_zipf(draws=100_000 if small else 500_000),
         bench_driver(scale=SMOKE if small else scale),
+        bench_fabric(scale=SMOKE if small else scale),
     ]
     return {
         "scale": scale.name,
@@ -172,9 +191,18 @@ def run_perf(scale: Scale = BENCH) -> dict:
 
 
 def write_trajectory(report: dict, out_dir: str = ".") -> Path:
-    """Persist a ``BENCH_<YYYY-MM-DD>.json`` trajectory file."""
+    """Persist a ``BENCH_<YYYY-MM-DD>.json`` trajectory file.
+
+    Never clobbers an existing trajectory (two perf changes landing the
+    same day must both leave their footprint): if the dated name is
+    taken, a ``.N`` run counter is appended.
+    """
     stamp = time.strftime("%Y-%m-%d")
     path = Path(out_dir) / f"BENCH_{stamp}.json"
+    run = 0
+    while path.exists():
+        run += 1
+        path = Path(out_dir) / f"BENCH_{stamp}.{run}.json"
     path.parent.mkdir(parents=True, exist_ok=True)
     report = dict(report)
     report["date"] = stamp
@@ -194,7 +222,7 @@ def format_perf(report: dict) -> str:
             line += (f"   (batched {r['speedup']}x vs per-write, "
                      f"{r['per_write']['hashes']} -> "
                      f"{r['batched']['hashes']} hashes)")
-        if name == "driver":
+        if name in ("driver", "fabric"):
             line += f"   (sim tps {r['sim_tps']:,.1f})"
         lines.append(line)
     return "\n".join(lines)

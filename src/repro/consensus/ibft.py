@@ -46,6 +46,13 @@ class IbftReplica(PbftReplica):
     past ``round_timeout`` (more likely with larger quorums under network
     jitter), the round restarts after a pause — modelled by the liveness
     timer inherited from PBFT with the tighter IBFT timeout.
+
+    The wake-on-proposal primary loop is inherited from
+    :class:`PbftReplica` unchanged: with ``batch_window`` pinned to
+    ``block_interval``, an idle IBFT proposer parks on its
+    ``WakeableQueue`` and wakes once per heartbeat instead of every
+    block interval, while blocks still cut on the identical interval
+    grid.
     """
 
     def __init__(self, env: Environment, node: Node, peers: list[str],

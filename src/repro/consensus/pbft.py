@@ -18,11 +18,12 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..sim.costs import CostModel, DEFAULT_COSTS
-from ..sim.kernel import Environment, Event
+from ..sim.kernel import Environment, Event, WakeableQueue
 from ..sim.network import Message, Network
 from ..sim.node import Node
 from ..sim.resources import Store
 from ..sim.rng import RngRegistry
+from .base import wake_batches
 
 __all__ = ["PbftConfig", "PbftReplica", "PbftGroup"]
 
@@ -75,8 +76,7 @@ class PbftReplica:
         self._commits: dict[tuple, set[str]] = {}
         self._committed: dict[int, Any] = {}     # seq -> items awaiting exec
         self._pending_events: dict[int, list[Event]] = {}
-        self._proposal_queue: list[tuple[Any, int, Event]] = []
-        self._batch_kick: Optional[Event] = None
+        self._proposal_queue: WakeableQueue = WakeableQueue(env)
         self._view_changes: dict[int, set[str]] = {}
         self._history: dict[int, Any] = {}   # executed seq -> items
         self._last_preprepare = env.now
@@ -120,52 +120,62 @@ class PbftReplica:
     # -- client API ---------------------------------------------------------------
 
     def propose(self, item: Any, size: int = 256) -> Event:
-        """Queue ``item`` for ordering (primary only)."""
+        """Queue ``item`` for ordering (primary only).
+
+        The put wakes a primary loop parked on the proposal queue at the
+        same simulated time (wake-on-proposal — no polling delay).
+        """
         ev = self.env.event()
         if not self.is_primary or self.node.crashed:
             ev.fail(RuntimeError(f"not primary (primary={self.primary_name})"))
             return ev
-        self._proposal_queue.append((item, size, ev))
-        if (self._batch_kick is not None and not self._batch_kick.triggered
-                and len(self._proposal_queue) >= self.config.max_batch):
-            self._batch_kick.succeed()
+        self._proposal_queue.put((item, size, ev))
         return ev
 
     # -- primary ---------------------------------------------------------------------
 
     def _primary_loop(self, view: int):
         last_beat = self.env.now
+        config = self.config
+
+        def still_primary() -> bool:
+            # The polling loop's mid-window liveness check deliberately
+            # omitted is_primary (a same-view membership change hands
+            # off at the loop top, not mid-batch).
+            return self.view == view and not self.node.crashed
+
+        def send_heartbeat() -> None:
+            self._broadcast("heartbeat", {}, size=96)
+
         while (self.view == view and self.is_primary
                and not self.node.crashed):
-            self._batch_kick = self.env.event()
-            yield self.env.any_of([
-                self._batch_kick,
-                self.env.timeout(self.config.batch_window),
-            ])
-            if self.view != view or self.node.crashed:
+            # One batch window per iteration, closed on the accumulated
+            # grid of the old polling loop; parked while idle (see
+            # consensus.base.wake_batches for the full contract).
+            batch, last_beat = yield from wake_batches(
+                self.env, self._proposal_queue, config.batch_window,
+                config.max_batch, config.heartbeat_interval,
+                still_primary, send_heartbeat, last_beat)
+            if batch is None:
                 break
-            batch = self._proposal_queue[:self.config.max_batch]
-            del self._proposal_queue[:len(batch)]
-            if batch:
-                seq = self.next_seq
-                self.next_seq += 1
-                items = [item for item, _size, _ev in batch]
-                total_size = 128 + sum(size for _item, size, _ev in batch)
-                self._pending_events[seq] = [ev for _i, _s, ev in batch]
-                digest = f"d:{view}:{seq}"
-                yield from self.node.compute(
-                    self.costs.bft_message_auth * self.n)
-                if self.byzantine_equivocator:
-                    self._equivocate(seq, items, total_size)
-                else:
-                    self._broadcast("pre_prepare", {
-                        "seq": seq, "digest": digest, "items": items,
-                    }, size=total_size)
-                self._accept_preprepare(view, seq, digest, items)
-                last_beat = self.env.now
-            elif self.env.now - last_beat >= self.config.heartbeat_interval:
-                self._broadcast("heartbeat", {}, size=96)
-                last_beat = self.env.now
+            if not batch:
+                continue
+            seq = self.next_seq
+            self.next_seq += 1
+            items = [item for item, _size, _ev in batch]
+            total_size = 128 + sum(size for _item, size, _ev in batch)
+            self._pending_events[seq] = [ev for _i, _s, ev in batch]
+            digest = f"d:{view}:{seq}"
+            yield from self.node.compute(
+                self.costs.bft_message_auth * self.n)
+            if self.byzantine_equivocator:
+                self._equivocate(seq, items, total_size)
+            else:
+                self._broadcast("pre_prepare", {
+                    "seq": seq, "digest": digest, "items": items,
+                }, size=total_size)
+            self._accept_preprepare(view, seq, digest, items)
+            last_beat = self.env.now
 
     def _equivocate(self, seq: int, items: list, size: int) -> None:
         """Byzantine primary: conflicting pre-prepares to two halves."""

@@ -31,7 +31,14 @@ class _ChainWrite:
 
 
 class ChainReplication:
-    """Head-to-tail chain replication over simulated nodes."""
+    """Head-to-tail chain replication over simulated nodes.
+
+    Already fully wake-driven: ``propose()`` enqueues straight into the
+    head's inbox :class:`repro.sim.resources.Store`, whose ``get()``
+    wakes the parked relay at the same simulated time — chain
+    replication never had a ``batch_window`` poll to remove, which is
+    exactly its simplicity appeal versus consensus (Section 3.1.2).
+    """
 
     def __init__(self, env: Environment, nodes: list[Node], network: Network,
                  costs: CostModel = DEFAULT_COSTS,

@@ -18,12 +18,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..sim.costs import CostModel, DEFAULT_COSTS
-from ..sim.kernel import Environment, Event
+from ..sim.kernel import Environment, Event, WakeableQueue
 from ..sim.network import Message, Network
 from ..sim.node import Node
 from ..sim.resources import Store
 from ..sim.rng import RngRegistry
-from .base import LogEntry
+from .base import LogEntry, wake_batches
 
 __all__ = ["RaftConfig", "RaftReplica", "RaftGroup"]
 
@@ -86,8 +86,7 @@ class RaftReplica:
         self.next_index: dict[str, int] = {}
         self.match_index: dict[str, int] = {}
         self._pending: dict[int, _Pending] = {}  # log index -> waiter
-        self._proposal_queue: list[_Pending] = []
-        self._batch_kick: Optional[Event] = None
+        self._proposal_queue: WakeableQueue = WakeableQueue(env)
 
         # follower liveness
         self._last_heartbeat = env.now
@@ -127,18 +126,16 @@ class RaftReplica:
     def propose(self, item: Any, size: int = 256) -> Event:
         """Propose ``item``; the event fires with (index, item) at commit.
 
-        Fails with ``NotLeader`` if this replica isn't the leader.
+        Fails with ``NotLeader`` if this replica isn't the leader.  The
+        put wakes a leader loop parked on the proposal queue at the same
+        simulated time (wake-on-proposal — no polling delay).
         """
         ev = self.env.event()
         if self.role != LEADER or self.node.crashed:
             ev.fail(NotLeader(self.leader_hint))
             return ev
         entry = LogEntry(term=self.term, item=item, size=size)
-        pending = _Pending(entry=entry, event=ev)
-        self._proposal_queue.append(pending)
-        if self._batch_kick is not None and not self._batch_kick.triggered:
-            if len(self._proposal_queue) >= self.config.max_batch:
-                self._batch_kick.succeed()
+        self._proposal_queue.put(_Pending(entry=entry, event=ev))
         return ev
 
     # -- receive loop -----------------------------------------------------------
@@ -168,10 +165,9 @@ class RaftReplica:
         self.role = FOLLOWER
         self.voted_for = None
         if was_leader:
-            for pending in self._proposal_queue:
+            for pending in self._proposal_queue.drain():
                 if not pending.event.triggered:
                     pending.event.fail(NotLeader(None))
-            self._proposal_queue.clear()
             # in-flight pendings will be resolved if the entry survives in
             # the new leader's log; otherwise they hang and the client
             # driver times out / retries (as etcd clients do).
@@ -241,30 +237,39 @@ class RaftReplica:
         # Immediately assert leadership.
         self._broadcast_append(heartbeat=True)
         last_beat = self.env.now
-        while self.role == LEADER and self.term == term and not self.node.crashed:
-            self._batch_kick = self.env.event()
-            wait = self.env.any_of([
-                self._batch_kick,
-                self.env.timeout(self.config.batch_window),
-            ])
-            yield wait
-            if self.role != LEADER or self.term != term or self.node.crashed:
+        config = self.config
+
+        def still_leader() -> bool:
+            return (self.role == LEADER and self.term == term
+                    and not self.node.crashed)
+
+        def send_heartbeat() -> None:
+            self._broadcast_append(heartbeat=True)
+
+        while still_leader():
+            # One batch window per iteration, closed on the same
+            # accumulated time grid the polling loop walked — but parked
+            # on the proposal queue, not polled, while idle (see
+            # consensus.base.wake_batches for the full contract).
+            batch, last_beat = yield from wake_batches(
+                self.env, self._proposal_queue, config.batch_window,
+                config.max_batch, config.heartbeat_interval,
+                still_leader, send_heartbeat, last_beat)
+            if batch is None:
                 break
-            batch = self._proposal_queue[:self.config.max_batch]
-            del self._proposal_queue[:len(batch)]
-            if batch:
-                for pending in batch:
-                    yield from self.node.compute(self.costs.raft_propose)
-                    self.log.append(pending.entry)
-                    self._pending[len(self.log)] = pending
-                # WAL group-commit for the batch
-                yield from self.node.disk_write(self.costs.wal_sync)
-                self._broadcast_append()
-                last_beat = self.env.now
-                self._maybe_commit()
-            elif self.env.now - last_beat >= self.config.heartbeat_interval:
-                self._broadcast_append(heartbeat=True)
-                last_beat = self.env.now
+            if not batch:
+                # Heartbeat wake, or a racing role change drained the
+                # queue mid-window.
+                continue
+            for pending in batch:
+                yield from self.node.compute(self.costs.raft_propose)
+                self.log.append(pending.entry)
+                self._pending[len(self.log)] = pending
+            # WAL group-commit for the batch
+            yield from self.node.disk_write(self.costs.wal_sync)
+            self._broadcast_append()
+            last_beat = self.env.now
+            self._maybe_commit()
 
     def _broadcast_append(self, heartbeat: bool = False) -> None:
         for peer in self.peers:

@@ -88,31 +88,36 @@ class OrderingService:
     def _cutter(self):
         """Consume the ordered stream; cut blocks by count or timeout.
 
-        A single consumer appends to the pending batch; a timer process per
-        batch enforces the block timeout (invalidated by a generation
-        counter when the batch is cut by count first).
+        A single consumer appends to the pending batch; a cancellable
+        timer per batch enforces the block timeout.  Cutting by count
+        first withdraws the timer through its generation-checked
+        :class:`repro.sim.kernel.CancelToken`, so the pooled timeout can
+        be recycled without a stale handle ever cancelling the next
+        batch's (unrelated) timer.
         """
         leader_name = self.orderer_nodes[0].name
         applied = self.raft.replicas[leader_name].applied
         self._pending: list[Any] = []
-        self._generation = 0
+        self._cut_token = None
         while True:
             _index, item = yield applied.get()
             self._pending.append(item)
             self.items_ordered += 1
             if len(self._pending) == 1:
-                self.env.process(self._timeout_cut(self._generation),
-                                 name="orderer-timeout")
+                timer = self.env.timeout(self.config.block_timeout)
+                timer.callbacks.append(self._timeout_cut)
+                self._cut_token = timer.token()
             if len(self._pending) >= self.config.block_max_items:
                 self._cut_pending()
 
-    def _timeout_cut(self, generation: int):
-        yield self.env.timeout(self.config.block_timeout)
-        if self._generation == generation and self._pending:
+    def _timeout_cut(self, _timer) -> None:
+        if self._pending:
             self._cut_pending()
 
     def _cut_pending(self) -> None:
-        self._generation += 1
+        token, self._cut_token = self._cut_token, None
+        if token is not None:
+            token.cancel()
         batch, self._pending = self._pending, []
         self._cut(batch)
 

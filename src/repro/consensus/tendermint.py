@@ -18,13 +18,36 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..sim.costs import CostModel, DEFAULT_COSTS
-from ..sim.kernel import Environment, Event
+from ..sim.kernel import Environment, Event, WakeableQueue
 from ..sim.network import Message, Network
 from ..sim.node import Node
 from ..sim.resources import Store
 from ..sim.rng import RngRegistry
 
 __all__ = ["TendermintConfig", "TendermintReplica", "TendermintGroup"]
+
+
+def _grid_wake(start: float, after: float, round_timeout: float,
+               block_interval: float) -> float:
+    """First wake of the old polling loop's round-wait grid strictly
+    greater than ``after``, capped at the round deadline.
+
+    The grid accumulates ``min(remaining, block_interval)`` steps from
+    ``start`` with the identical float arithmetic the polling loop's
+    chained timeouts performed; pass ``after=inf`` to walk to the
+    deadline itself.  A residual below one ulp ends the walk (the grid
+    can advance no further).
+    """
+    t = start
+    while t <= after:
+        remaining = round_timeout - (t - start)
+        if remaining <= 0:
+            break
+        step = min(remaining, block_interval)
+        if t + step == t:
+            break
+        t += step
+    return t
 
 
 @dataclass
@@ -55,7 +78,8 @@ class TendermintReplica:
 
         self.height = 1
         self.round = 0
-        self.mempool: list[tuple[Any, Event]] = []
+        self.mempool: WakeableQueue = WakeableQueue(env)
+        self._change_waiter: Optional[Event] = None
         self._proposals: dict[int, list] = {}
         self._prevotes: dict[tuple, set[str]] = {}
         self._precommits: dict[tuple, set[str]] = {}
@@ -78,8 +102,25 @@ class TendermintReplica:
 
     def propose(self, item: Any, size: int = 256) -> Event:
         ev = self.env.event()
-        self.mempool.append((item, ev))
+        self.mempool.put((item, ev))
         return ev
+
+    # -- height/round change signalling -----------------------------------------
+
+    def _arm_change(self) -> Event:
+        """Arm a one-shot event fired at the next height/round change."""
+        ev = self.env.event()
+        self._change_waiter = ev
+        return ev
+
+    def _disarm_change(self, ev: Event) -> None:
+        if self._change_waiter is ev:
+            self._change_waiter = None
+
+    def _signal_change(self) -> None:
+        ev, self._change_waiter = self._change_waiter, None
+        if ev is not None and not ev._triggered:
+            ev.succeed("changed")
 
     def _broadcast(self, mtype: str, payload: dict, size: int = 160) -> None:
         for peer in self.others:
@@ -90,15 +131,16 @@ class TendermintReplica:
     # -- proposer --------------------------------------------------------------
 
     def _proposer_loop(self):
+        env = self.env
+        config = self.config
         while True:
             height, round_ = self.height, self.round
             if (self.proposer_for(height, round_) == self.name
                     and not self.node.crashed):
-                yield self.env.timeout(self.config.block_interval)
+                yield env.timeout(config.block_interval)
                 if (self.height, self.round) != (height, round_):
                     continue
-                batch = self.mempool[:self.config.max_block_txns]
-                del self.mempool[:len(batch)]
+                batch = self.mempool.take(config.max_block_txns)
                 items = [item for item, _ev in batch]
                 self._proposals[height] = batch
                 yield from self.node.compute(
@@ -107,16 +149,38 @@ class TendermintReplica:
                     "height": height, "round": round_, "items": items,
                 }, size=128 + sum(256 for _ in items))
                 self._cast_prevote(height, round_)
-            # Wait for the height to advance or the round to time out.
-            start = self.env.now
-            while (self.height, self.round) == (height, round_):
-                remaining = self.config.round_timeout - (self.env.now - start)
-                if remaining <= 0:
+            # Wait for the height to advance or the round to time out —
+            # parked on the height/round change signal instead of polling
+            # every block_interval.  The polling loop noticed a change
+            # only at its next grid wake and declared the round dead at
+            # the final grid point, so both resume times are recomputed
+            # on the identical accumulated grid.
+            start = env.now
+            if (self.height, self.round) != (height, round_):
+                continue
+            deadline = _grid_wake(start, float("inf"), config.round_timeout,
+                                  config.block_interval)
+            changed = self._arm_change()
+            timer = env.timeout_at(deadline, "deadline")
+            token = timer.token()
+            winner = yield env.any_of([changed, timer])
+            if winner == "deadline":
+                self._disarm_change(changed)
+                # Re-check before declaring the round dead: a commit can
+                # land between the timer's dispatch and this resume (same
+                # simulated time), and bumping the *fresh* height's round
+                # would skew proposer rotation.
+                if (self.height, self.round) == (height, round_):
                     self.rounds_wasted += 1
                     self.round += 1
-                    break
-                yield self.env.timeout(min(remaining,
-                                           self.config.block_interval))
+                continue
+            token.cancel()
+            # Height/round changed mid-round: resume at the first grid
+            # wake strictly after the change, as the polling loop did.
+            wake = _grid_wake(start, env.now, config.round_timeout,
+                              config.block_interval)
+            if wake > env.now:
+                yield env.timeout_at(wake)
 
     # -- voting ----------------------------------------------------------------
 
@@ -175,6 +239,7 @@ class TendermintReplica:
             batch = self._proposals.pop(height, [])
             self.height += 1
             self.round = 0
+            self._signal_change()
             self.commits += 1
             items = []
             for item, ev in batch:

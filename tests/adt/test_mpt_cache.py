@@ -1,0 +1,93 @@
+"""Tests for the shared LRU decoded-node cache (was clear-on-overflow)."""
+
+from __future__ import annotations
+
+from repro.adt.mpt import DecodedNodeCache, MerklePatriciaTrie, NodeStore
+
+
+def test_cache_shared_across_tries_on_one_store():
+    store = NodeStore()
+    writer = MerklePatriciaTrie(store)
+    for i in range(50):
+        writer.put(b"user%04d" % i, b"v%d" % i)
+    root = writer.root
+    warm = len(store.cache)
+    assert warm > 0
+    # a historical trie over the same store reuses the decoded nodes the
+    # writer cached — lookups add no new entries for shared paths
+    reader = MerklePatriciaTrie(store, root=root)
+    assert reader._cache is store.cache
+    for i in range(50):
+        assert reader.get(b"user%04d" % i) == b"v%d" % i
+    assert len(store.cache) == warm
+
+
+def test_historical_roots_stay_readable_after_updates():
+    store = NodeStore()
+    trie = MerklePatriciaTrie(store)
+    trie.put(b"acct1", b"balance=100")
+    old_root = trie.root
+    trie.put(b"acct1", b"balance=50")
+    historical = MerklePatriciaTrie(store, root=old_root)
+    assert historical.get(b"acct1") == b"balance=100"
+    assert trie.get(b"acct1") == b"balance=50"
+
+
+def test_lru_evicts_cold_entries_not_whole_cache():
+    cache = DecodedNodeCache(capacity=4)
+    for i in range(4):
+        cache.put(b"d%d" % i, ("node", i))
+    # touch d0 so it becomes most recent (cache is at capacity, so the
+    # recency refresh is engaged)
+    assert cache.get(b"d0") == ("node", 0)
+    cache.put(b"d4", ("node", 4))        # evicts d1, the LRU entry
+    assert cache.evictions == 1
+    assert cache.get(b"d1") is None
+    assert cache.get(b"d0") == ("node", 0)
+    assert cache.get(b"d4") == ("node", 4)
+    assert len(cache) == 4
+
+
+def test_overflow_keeps_hot_working_set():
+    """Unlike clear-on-overflow, hot entries survive a stream of cold
+    inserts that exceeds capacity."""
+    cache = DecodedNodeCache(capacity=8)
+    hot = [b"hot%d" % i for i in range(4)]
+    for key in hot:
+        cache.put(key, ("hot", key))
+    for i in range(100):
+        for key in hot:                 # keep the hot set recent
+            assert cache.get(key) is not None
+        cache.put(b"cold%d" % i, ("cold", i))
+    for key in hot:
+        assert cache.get(key) == ("hot", key)
+    assert len(cache) == 8
+
+
+def test_trie_roots_identical_under_tiny_cache():
+    """Cache behaviour must never leak into digests: a trie running on a
+    1-entry cache produces byte-identical roots and hash counts."""
+    keys = [b"user%06d" % i for i in range(200)]
+    big = MerklePatriciaTrie()
+    small = MerklePatriciaTrie(NodeStore(cache_capacity=1))
+    for i, key in enumerate(keys):
+        r1 = big.put(key, b"v%d" % i)
+        r2 = small.put(key, b"v%d" % i)
+        assert r1 == r2
+    assert big.hashes_computed == small.hashes_computed
+    # batched path too
+    b2 = MerklePatriciaTrie(NodeStore(cache_capacity=1))
+    for i, key in enumerate(keys):
+        b2.stage(key, b"v%d" % i)
+    assert b2.commit() == big.root
+
+
+def test_batched_commit_shares_cache_with_per_write():
+    store = NodeStore()
+    trie = MerklePatriciaTrie(store)
+    for i in range(20):
+        trie.stage(b"user%04d" % i, b"v%d" % i)
+    trie.commit()
+    assert store.cache.entries   # commit populated the shared cache
+    reader = MerklePatriciaTrie(store, root=trie.root)
+    assert reader.get(b"user0007") == b"v7"

@@ -46,7 +46,7 @@ def test_cli_perf_smoke_writes_trajectory(tmp_path, capsys):
     files = list(tmp_path.glob("BENCH_*.json"))
     assert len(files) == 1
     data = json.loads(files[0].read_text())
-    assert set(data["benchmarks"]) == {"kernel", "mpt", "mbt", "zipf",
+    assert set(data["benchmarks"]) == {"kernel", "mpt", "mbt", "zipf", "fabric",
                                        "driver"}
 
 

@@ -1,0 +1,77 @@
+"""Seeded end-to-end RunResult fingerprints across the systems layer.
+
+These are the PR-level equivalence gates for scheduler/consensus hot-path
+work (slab scheduler, wake-on-proposal): a seeded closed-loop measurement
+of each system must produce a byte-identical ``RunResult`` before and
+after any perf refactor.  Eight points cover every consensus substrate
+the systems layer threads proposals into: Raft (etcd, tikv, quorum),
+IBFT (quorum), a Raft-backed shared log (fabric, veritas), Percolator
+over multi-Raft (tidb), and Tendermint (bigchaindb).
+
+A mismatch means simulation *semantics* drifted — event ordering, batch
+boundaries, or timer behaviour — not just wall-clock performance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SMOKE, run_point
+
+#: (system, run_point overrides) -> exact reprs of the seeded RunResult.
+FINGERPRINTS = {
+    "etcd": (
+        dict(),
+        {"tps": "14886.968050392341", "measured": 300,
+         "latency": "0.003593996233866099", "aborted": 0},
+    ),
+    "tikv": (
+        dict(),
+        {"tps": "13368.568083358427", "measured": 300,
+         "latency": "0.003680662781707489", "aborted": 0},
+    ),
+    "quorum": (
+        dict(),
+        {"tps": "211.07009842368518", "measured": 300,
+         "latency": "1.2094360582458945", "aborted": 0},
+    ),
+    "quorum-ibft": (
+        dict(system_kwargs={"consensus": "ibft"}),
+        {"tps": "203.58120437878924", "measured": 300,
+         "latency": "1.2750026434150334", "aborted": 0},
+    ),
+    "fabric": (
+        dict(),
+        {"tps": "1131.4258880742786", "measured": 300,
+         "latency": "0.1935465040231532", "aborted": 0},
+    ),
+    "tidb-skew": (
+        dict(theta=0.9, ops_per_txn=2),
+        {"tps": "140.44655946251711", "measured": 300,
+         "latency": "0.07854862944570291", "aborted": 38},
+    ),
+    "veritas": (
+        dict(),
+        {"tps": "17238.46382539664", "measured": 300,
+         "latency": "0.003157095126561496", "aborted": 0},
+    ),
+    "bigchaindb": (
+        dict(),
+        {"tps": "1111.1111111110963", "measured": 300,
+         "latency": "0.27375982632021884", "aborted": 0},
+    ),
+}
+
+
+@pytest.mark.parametrize("point", sorted(FINGERPRINTS))
+def test_run_point_fingerprint(point):
+    overrides, expected = FINGERPRINTS[point]
+    system = point.split("-")[0]
+    result = run_point(system, scale=SMOKE, seed=11, **overrides)
+    observed = {
+        "tps": repr(result.tps),
+        "measured": result.measured,
+        "latency": repr(result.stats.latency.mean),
+        "aborted": result.stats.aborted,
+    }
+    assert observed == expected, f"seeded RunResult drifted for {point}"

@@ -49,3 +49,14 @@ def test_fabric_smoke_wall_budget():
     # headroom for CI — catches a reintroduced polling loop or a
     # quadratic validation pipeline.
     assert result["wall_s"] < 7.0, result
+
+
+def test_scale_10k_clients_smoke_wall_budget():
+    from repro.bench.perf import bench_scale
+    result = bench_scale(scale=SMOKE, seed=7)
+    # 10k multiplexed clients on the smoke fabric point: ~0.5s on a dev
+    # box, 10x headroom for CI.  Guards the cohort multiplexer — a
+    # reintroduced process-per-client driver blows this budget (the
+    # BENCH-scale <5 s wall target is tracked in the trajectory files).
+    assert result["clients"] == 10_000
+    assert result["wall_s"] < 5.0, result

@@ -32,7 +32,8 @@ from ..workloads.zipf import ZipfGenerator
 from .harness import BENCH, SMOKE, Scale, run_point
 
 __all__ = ["bench_kernel", "bench_mpt", "bench_mbt", "bench_zipf",
-           "bench_driver", "bench_fabric", "run_perf", "write_trajectory"]
+           "bench_driver", "bench_fabric", "bench_scale", "run_perf",
+           "write_trajectory"]
 
 
 def bench_kernel(events: int = 200_000, _timed: bool = True) -> dict:
@@ -147,16 +148,20 @@ def bench_zipf(draws: int = 500_000, n: int = 100_000,
             "draws_per_s": round(draws / wall)}
 
 
-def _bench_point(name: str, system: str, scale: Scale, seed: int) -> dict:
+def _bench_point(name: str, system: str, scale: Scale, seed: int,
+                 clients=None) -> dict:
     """Time one ``run_point`` and report its wall rate + sim fingerprint."""
     start = time.perf_counter()
-    result = run_point(system, scale=scale, seed=seed)
+    result = run_point(system, scale=scale, seed=seed, clients=clients)
     wall = time.perf_counter() - start
-    return {"name": name, "system": system, "scale": scale.name,
-            "seed": seed, "wall_s": round(wall, 4),
-            "txns_per_s": round(result.measured / wall) if wall else 0,
-            "sim_tps": result.tps, "measured": result.measured,
-            "mean_latency": result.stats.latency.mean}
+    out = {"name": name, "system": system, "scale": scale.name,
+           "seed": seed, "wall_s": round(wall, 4),
+           "txns_per_s": round(result.measured / wall) if wall else 0,
+           "sim_tps": result.tps, "measured": result.measured,
+           "mean_latency": result.stats.latency.mean}
+    if clients is not None:
+        out["clients"] = clients
+    return out
 
 
 def bench_driver(scale: Scale = BENCH, seed: int = 7) -> dict:
@@ -172,6 +177,17 @@ def bench_fabric(scale: Scale = BENCH, seed: int = 7) -> dict:
     return _bench_point("fabric", "fabric", scale, seed)
 
 
+def bench_scale(scale: Scale = BENCH, seed: int = 7,
+                clients: int = 10_000) -> dict:
+    """10k-client closed-loop rate (the ROADMAP scale target).
+
+    Drives the fabric point — the heaviest per-client pipeline — with
+    10k clients multiplexed into driver cohort slots.  The BENCH-scale
+    wall target is <5 s; compare ``wall_s`` across trajectory files.
+    """
+    return _bench_point("scale", "fabric", scale, seed, clients=clients)
+
+
 def run_perf(scale: Scale = BENCH) -> dict:
     """Run every microbenchmark, scaled down for smoke runs."""
     small = scale.name == "smoke"
@@ -182,6 +198,7 @@ def run_perf(scale: Scale = BENCH) -> dict:
         bench_zipf(draws=100_000 if small else 500_000),
         bench_driver(scale=SMOKE if small else scale),
         bench_fabric(scale=SMOKE if small else scale),
+        bench_scale(scale=SMOKE if small else scale),
     ]
     return {
         "scale": scale.name,
@@ -222,7 +239,9 @@ def format_perf(report: dict) -> str:
             line += (f"   (batched {r['speedup']}x vs per-write, "
                      f"{r['per_write']['hashes']} -> "
                      f"{r['batched']['hashes']} hashes)")
-        if name in ("driver", "fabric"):
+        if name in ("driver", "fabric", "scale"):
             line += f"   (sim tps {r['sim_tps']:,.1f})"
+        if name == "scale":
+            line += f" [{r.get('clients', 0):,d} clients]"
         lines.append(line)
     return "\n".join(lines)

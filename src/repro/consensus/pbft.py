@@ -166,7 +166,7 @@ class PbftReplica:
             total_size = 128 + sum(size for _item, size, _ev in batch)
             self._pending_events[seq] = [ev for _i, _s, ev in batch]
             digest = f"d:{view}:{seq}"
-            yield from self.node.compute(
+            yield self.node.compute(
                 self.costs.bft_message_auth * self.n)
             if self.byzantine_equivocator:
                 self._equivocate(seq, items, total_size)
@@ -195,7 +195,7 @@ class PbftReplica:
             if self.node.crashed:
                 continue
             # verify the message authenticator
-            yield from self.node.compute(self.costs.bft_message_auth)
+            yield self.node.compute(self.costs.bft_message_auth)
             payload = msg.payload
             mtype = payload["type"]
             if mtype == "pre_prepare":

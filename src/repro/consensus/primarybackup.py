@@ -93,7 +93,7 @@ class ChainReplication:
             if node.crashed:
                 continue
             write: _ChainWrite = msg.payload
-            yield from node.compute(self.costs.store_put)
+            yield node.compute(self.costs.store_put)
             self.applied[node.name].put((write.seq, write.item))
             nxt = self._next_hop(node.name)
             if nxt is not None:
@@ -116,7 +116,7 @@ class ChainReplication:
             return ev
 
         def serve():
-            yield from tail.compute(self.costs.store_get)
+            yield tail.compute(self.costs.store_get)
             ev.succeed(self.commits)
         self.env.process(serve(), name="chain-read")
         return ev

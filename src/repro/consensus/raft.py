@@ -145,7 +145,7 @@ class RaftReplica:
             msg = yield self.inbox.get()
             if self.node.crashed:
                 continue
-            yield from self.node.compute(self.costs.net_recv_overhead)
+            yield self.node.compute(self.costs.net_recv_overhead)
             payload = msg.payload
             mtype = payload["type"]
             if payload.get("term", 0) > self.term:
@@ -262,11 +262,11 @@ class RaftReplica:
                 # queue mid-window.
                 continue
             for pending in batch:
-                yield from self.node.compute(self.costs.raft_propose)
+                yield self.node.compute(self.costs.raft_propose)
                 self.log.append(pending.entry)
                 self._pending[len(self.log)] = pending
             # WAL group-commit for the batch
-            yield from self.node.disk_write(self.costs.wal_sync)
+            yield self.node.disk_write(self.costs.wal_sync)
             self._broadcast_append()
             last_beat = self.env.now
             self._maybe_commit()

@@ -55,6 +55,16 @@ class TendermintConfig:
     block_interval: float = 0.1
     max_block_txns: int = 512
     round_timeout: float = 1.0
+    #: Idle-skip mode (Tendermint's ``create_empty_blocks=false``): while
+    #: the txpool is idle the proposer parks until work arrives instead of
+    #: proposing an empty block every ``block_interval``, and replicas
+    #: with no round activity park on the height/round change signal
+    #: instead of arming a round-timeout.  Outcome-changing (block heights
+    #: and commit times differ from the protocol-faithful default), so it
+    #: is gated off by default and fingerprinted separately.  Liveness
+    #: assumes a crash-free validator set: round re-proposals cannot fire
+    #: while idle, so leave this off for fault-injection studies.
+    skip_empty_blocks: bool = False
 
 
 class TendermintReplica:
@@ -137,13 +147,25 @@ class TendermintReplica:
             height, round_ = self.height, self.round
             if (self.proposer_for(height, round_) == self.name
                     and not self.node.crashed):
+                if config.skip_empty_blocks and not self.mempool:
+                    # Idle-skip: park until a proposal arrives (or the
+                    # height/round moves under us) instead of cutting an
+                    # empty block every interval.
+                    wake = self.mempool.wait()
+                    changed = self._arm_change()
+                    yield env.any_of([wake, changed])
+                    self._disarm_change(changed)
+                    if not wake.triggered:
+                        self.mempool.cancel_wait(wake)
+                    if (self.height, self.round) != (height, round_):
+                        continue
                 yield env.timeout(config.block_interval)
                 if (self.height, self.round) != (height, round_):
                     continue
                 batch = self.mempool.take(config.max_block_txns)
                 items = [item for item, _ev in batch]
                 self._proposals[height] = batch
-                yield from self.node.compute(
+                yield self.node.compute(
                     self.costs.bft_message_auth * self.n)
                 self._broadcast("proposal", {
                     "height": height, "round": round_, "items": items,
@@ -157,6 +179,19 @@ class TendermintReplica:
             # on the identical accumulated grid.
             start = env.now
             if (self.height, self.round) != (height, round_):
+                continue
+            if (config.skip_empty_blocks and not self.mempool
+                    and not self._round_activity(height, round_)):
+                # Idle-skip: nothing proposed, nothing queued — park on
+                # the change signal with no round deadline (round
+                # re-proposal needs a crash to matter; see the config
+                # flag's liveness note).
+                changed = self._arm_change()
+                wake = self.mempool.wait()
+                yield env.any_of([changed, wake])
+                self._disarm_change(changed)
+                if not wake.triggered:
+                    self.mempool.cancel_wait(wake)
                 continue
             deadline = _grid_wake(start, float("inf"), config.round_timeout,
                                   config.block_interval)
@@ -182,6 +217,12 @@ class TendermintReplica:
             if wake > env.now:
                 yield env.timeout_at(wake)
 
+    def _round_activity(self, height: int, round_: int) -> bool:
+        """True when this round has a proposal or votes in flight."""
+        key = (height, round_)
+        return (height in self._proposals or key in self._prevotes
+                or key in self._precommits)
+
     # -- voting ----------------------------------------------------------------
 
     def _receiver(self):
@@ -189,7 +230,7 @@ class TendermintReplica:
             msg = yield self.inbox.get()
             if self.node.crashed:
                 continue
-            yield from self.node.compute(self.costs.bft_message_auth)
+            yield self.node.compute(self.costs.bft_message_auth)
             payload = msg.payload
             mtype = payload["type"]
             height = payload["height"]

@@ -26,7 +26,19 @@ little generality for speed:
   :class:`CancelToken` (see :meth:`Timeout.token`) instead of the bare
   object;
 * :class:`Process` resumes *immediately* (same timestep, no heap round
-  trip) when it yields an event that has already been processed;
+  trip) when it yields an event that has already been processed; the
+  resume loop is an iterative **trampoline**, so a chain of
+  already-processed events of any length costs O(1) Python stack;
+* the **flat-event calling convention**: helpers on the hot path hand
+  back a single :class:`Event` (``yield helper()``) instead of a
+  sub-generator (``yield from helper()``), so a wait costs one parked
+  callback instead of a nested generator frame walked on every resume.
+  Helpers that may complete without waiting return
+  :meth:`Environment.resolved`, which the trampoline short-circuits.
+  Completion callbacks resume waiters inline via
+  :meth:`Event._resolve` — a direct continuation with no scheduler
+  re-entry, falling back to the heap past ``_MAX_INLINE_DEPTH`` nested
+  resolutions;
 * :class:`WakeableQueue` is the producer/consumer primitive behind
   wake-on-proposal consensus loops: ``put()`` fires a parked consumer's
   waiter at the *same* simulated time, and threshold waiters reproduce
@@ -68,6 +80,16 @@ __all__ = [
 
 class SimulationError(Exception):
     """Raised for misuse of the kernel (e.g. running a finished process)."""
+
+
+#: Nested inline resolutions allowed before :meth:`Event._resolve` falls
+#: back to the heap.  Inline resolution only nests when a resumed waiter
+#: synchronously resolves another event *within the same callback cascade*
+#: (a service completion whose continuation completes another service at
+#: the same instant), so real chains are a handful deep; the guard exists
+#: to bound Python stack growth on pathological synthetic chains, where
+#: the fallback trades the inline ordering guarantee for safety.
+_MAX_INLINE_DEPTH = 64
 
 
 class Interrupt(Exception):
@@ -141,6 +163,37 @@ class Event:
         self._value = exception
         self.env._schedule(self)
         return self
+
+    def _resolve(self, value: Any = None) -> None:
+        """Trigger and dispatch inline — a direct continuation.
+
+        Runs waiter callbacks synchronously at the current simulated
+        time instead of scheduling the event through the heap, which is
+        exactly where a ``yield from`` sub-generator would have resumed
+        its caller: the flat fast paths use this so their completion
+        lands at the identical position in the dispatch cascade as the
+        generator form's resume did.  Past :data:`_MAX_INLINE_DEPTH`
+        nested resolutions the event falls back to a scheduled
+        :meth:`succeed` (same time, later in the cascade) to bound
+        Python stack depth.
+        """
+        env = self.env
+        if env._inline_depth >= _MAX_INLINE_DEPTH:
+            self.succeed(value)
+            return
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            env._inline_depth += 1
+            try:
+                for callback in callbacks:
+                    callback(self)
+            finally:
+                env._inline_depth -= 1
 
 
 class Timeout(Event):
@@ -275,6 +328,10 @@ class Process(Event):
         self.env._schedule_call(self._resume, fake)
 
     def _resume(self, event: Event) -> None:
+        # Iterative trampoline: a chain of already-processed events (the
+        # `callbacks is None` short-circuit below) re-enters neither the
+        # scheduler nor this function — it loops, costing O(1) stack for
+        # a chain of any length.
         if self._triggered:
             return
         generator = self.generator
@@ -521,6 +578,7 @@ class Environment:
         # without maintaining a per-event counter on the hot path.
         self._compact_watermark = 64
         self._timeout_pool: list[Timeout] = []
+        self._inline_depth = 0
 
     # -- scheduling -------------------------------------------------------
     # _schedule and _schedule_call inline the same slab-push sequence:
@@ -629,6 +687,20 @@ class Environment:
 
     def event(self) -> Event:
         return Event(self)
+
+    def resolved(self, value: Any = None) -> Event:
+        """An already-processed event carrying ``value``.
+
+        The return type of the flat-event ("awaitable call") protocol
+        for a helper that completed without waiting: the caller's
+        ``yield`` of it short-circuits in the :class:`Process`
+        trampoline — no heap entry, no callback, no scheduler re-entry.
+        """
+        ev = Event(self)
+        ev._triggered = True
+        ev.callbacks = None
+        ev._value = value
+        return ev
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         if self._timeout_pool:

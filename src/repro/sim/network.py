@@ -37,6 +37,60 @@ class Message:
     sent_at: float = 0.0
 
 
+class _Delivery:
+    """One in-flight message, driven as a flat callback chain.
+
+    Stages mirror the old ``_deliver`` coroutine hop for hop — NIC
+    egress (``serve_event``), drop checks, propagation timer, enqueue —
+    issuing the identical schedule sequence, so event ordering is
+    byte-identical to the process-per-message form (the retired
+    delivery process's completion event carried no callbacks, so losing
+    it is unobservable).
+    """
+
+    __slots__ = ("net", "msg", "src", "dst")
+
+    def __init__(self, net: "Network", msg: Message):
+        self.net = net
+        self.msg = msg
+
+    def begin(self, _arg: Any) -> None:
+        net, msg = self.net, self.msg
+        src = net.nodes.get(msg.src)
+        dst = net.nodes.get(msg.dst)
+        if src is None or dst is None:
+            raise KeyError(f"unknown endpoint in {msg.src!r}->{msg.dst!r}")
+        self.src = src
+        self.dst = dst
+        msg.sent_at = net.env.now
+        net.messages_sent += 1
+        net.bytes_sent += msg.size
+        # Egress: sender CPU overhead + wire serialization, serialized
+        # through the source NIC.
+        cost = net.costs.net_send_overhead + net.costs.transfer_time(msg.size)
+        src.nic_out.serve_event(cost).callbacks.append(self._egress_done)
+
+    def _egress_done(self, _ev: Any) -> None:
+        net, msg = self.net, self.msg
+        if self.src.crashed or net._severed(msg.src, msg.dst):
+            net.messages_dropped += 1
+            return
+        rate = net._drop_rate.get((msg.src, msg.dst), 0.0)
+        if rate > 0 and net.rng.random() < rate:
+            net.messages_dropped += 1
+            return
+        delay = net.costs.net_latency
+        if net.jitter > 0:
+            delay += net.rng.expovariate(1.0 / net.jitter)
+        net.env.timeout(delay).callbacks.append(self._arrive)
+
+    def _arrive(self, _ev: Any) -> None:
+        if self.dst.crashed:
+            self.net.messages_dropped += 1
+            return
+        self.dst.enqueue(self.msg)
+
+
 class Network:
     """Connects :class:`repro.sim.node.Node` objects."""
 
@@ -85,39 +139,16 @@ class Network:
     # -- sending ----------------------------------------------------------
 
     def send(self, msg: Message) -> None:
-        """Fire-and-forget asynchronous send (spawns a delivery process)."""
-        self.env.process(self._deliver(msg), name=f"net:{msg.kind}")
+        """Fire-and-forget asynchronous send.
 
-    def _deliver(self, msg: Message):
-        src = self.nodes.get(msg.src)
-        dst = self.nodes.get(msg.dst)
-        if src is None or dst is None:
-            raise KeyError(f"unknown endpoint in {msg.src!r}->{msg.dst!r}")
-        msg.sent_at = self.env.now
-        self.messages_sent += 1
-        self.bytes_sent += msg.size
-        # Egress: sender CPU overhead + wire serialization, serialized
-        # through the source NIC.
-        cost = self.costs.net_send_overhead + self.costs.transfer_time(msg.size)
-        yield from src.nic_out.serve(cost)
-        if src.crashed:
-            self.messages_dropped += 1
-            return
-        if self._severed(msg.src, msg.dst):
-            self.messages_dropped += 1
-            return
-        rate = self._drop_rate.get((msg.src, msg.dst), 0.0)
-        if rate > 0 and self.rng.random() < rate:
-            self.messages_dropped += 1
-            return
-        delay = self.costs.net_latency
-        if self.jitter > 0:
-            delay += self.rng.expovariate(1.0 / self.jitter)
-        yield self.env.timeout(delay)
-        if dst.crashed:
-            self.messages_dropped += 1
-            return
-        dst.enqueue(msg)
+        Delivery is a flat callback chain (:class:`_Delivery`), not a
+        coroutine: the bootstrap callback below lands at the same
+        scheduler position a per-message delivery *process* used to
+        bootstrap at, then NIC egress, propagation, and enqueue are
+        plain timer callbacks — one small object per message instead of
+        a generator resumed through the process trampoline at each hop.
+        """
+        self.env._schedule_call(_Delivery(self, msg).begin, None)
 
     def broadcast(self, src: str, dsts: list[str], kind: str, payload: Any,
                   size: int = 256) -> None:

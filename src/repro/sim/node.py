@@ -64,11 +64,25 @@ class Node:
 
     # -- resource helpers -------------------------------------------------
 
-    def compute(self, service_time: float) -> Generator[Event, Any, None]:
-        """Occupy one CPU core for ``service_time``."""
+    def compute(self, service_time: float) -> Event:
+        """Occupy one CPU core for ``service_time`` (flat fast path).
+
+        Returns a single event — ``yield node.compute(t)``.  The
+        generator form lives on as :meth:`compute_gen` for callers that
+        need the early-release-on-interrupt contract.
+        """
+        return self.cpu.serve_event(service_time)
+
+    def disk_write(self, service_time: float) -> Event:
+        """Occupy the disk for ``service_time`` (flat fast path)."""
+        return self.disk.serve_event(service_time)
+
+    def compute_gen(self, service_time: float) -> Generator[Event, Any, None]:
+        """Generator form of :meth:`compute` (drive with ``yield from``)."""
         yield from self.cpu.serve(service_time)
 
-    def disk_write(self, service_time: float) -> Generator[Event, Any, None]:
+    def disk_write_gen(self, service_time: float) -> Generator[Event, Any, None]:
+        """Generator form of :meth:`disk_write`."""
         yield from self.disk.serve(service_time)
 
     # -- failure injection ------------------------------------------------

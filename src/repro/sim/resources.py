@@ -15,6 +15,34 @@ from .kernel import Environment, Event
 __all__ = ["Resource", "Store"]
 
 
+class _ServeRequest(Event):
+    """A queued flat-path serve: grant -> service timer -> release -> done.
+
+    The event itself is the slot request sitting in ``Resource._waiting``;
+    when the grant dispatches it schedules the service timer, and the
+    timer's completion releases the slot and resolves ``done`` *inline* —
+    the caller resumes at the identical position in the dispatch cascade
+    as the generator form's ``finally: release()`` resume did.
+    """
+
+    __slots__ = ("resource", "service_time", "done")
+
+    def __init__(self, resource: "Resource", service_time: float):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.service_time = service_time
+        self.done = Event(resource.env)
+        self.callbacks.append(self._granted)
+
+    def _granted(self, _ev: Event) -> None:
+        timer = self.env.timeout(self.service_time)
+        timer.callbacks.append(self._served)
+
+    def _served(self, _ev: Event) -> None:
+        self.resource.release(self)
+        self.done._resolve()
+
+
 class Resource:
     """A FIFO resource with integer capacity.
 
@@ -62,11 +90,16 @@ class Resource:
         self._take_slot()
         req.succeed(req)
 
-    def release(self, req: Event) -> None:
-        """Release a previously granted slot."""
-        self.in_use -= 1
-        if self.in_use < 0:
+    def release(self, req: Optional[Event]) -> None:
+        """Release a previously granted slot.
+
+        Validates *before* mutating: an unmatched release raises without
+        corrupting ``in_use`` or the busy-time bookkeeping, so the
+        resource stays usable after the error.
+        """
+        if self.in_use <= 0:
             raise RuntimeError("release() without matching request()")
+        self.in_use -= 1
         if self.in_use == 0 and self._busy_since is not None:
             self.busy_time += self.env.now - self._busy_since
             self._busy_since = None
@@ -74,12 +107,47 @@ class Resource:
             nxt = self._waiting.popleft()
             self._grant(nxt)
 
+    def serve_event(self, service_time: float) -> Event:
+        """Flat fast path: acquire, hold for ``service_time``, release.
+
+        Returns a single :class:`Event` for the caller to ``yield`` —
+        the flat-event calling convention — instead of the sub-generator
+        :meth:`serve` hands back for ``yield from``.  Uncontended, the
+        grant, service timeout, and release fold into one scheduled
+        timer whose completion callback releases the slot immediately
+        before the waiter resumes; contended, a :class:`_ServeRequest`
+        queues, its grant schedules the timer, and the timer resolves
+        the caller inline.  Both paths issue the identical schedule
+        sequence as :meth:`serve`, so event ordering is byte-identical.
+
+        Contract difference vs the generator form: interrupting a waiter
+        mid-service no longer releases the slot early — the slot is held
+        until the scheduled service end regardless (the service itself
+        is not cancelled by the waiter's demise).
+        """
+        self.total_requests += 1
+        if self.in_use < self.capacity and not self._waiting:
+            self._take_slot()
+            done = self.env.timeout(service_time)
+            done.callbacks.append(self._finish_serve)
+            return done
+        req = _ServeRequest(self, service_time)
+        self._waiting.append(req)
+        return req.done
+
+    def _finish_serve(self, _ev: Event) -> None:
+        self.release(None)
+
     def serve(self, service_time: float) -> Generator[Event, Any, None]:
         """Acquire a slot, hold it for ``service_time``, release it.
 
         When a slot is free and nobody queues ahead, the grant is folded
         into the service timeout (no request event, no extra scheduler
         round-trip) — the common case on an uncontended resource.
+
+        Prefer :meth:`serve_event` on hot paths: it returns a single
+        event (``yield`` it) and skips the sub-generator frame this form
+        costs on every resume.
         """
         if self.in_use < self.capacity and not self._waiting:
             self.total_requests += 1

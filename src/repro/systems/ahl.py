@@ -116,11 +116,18 @@ class AhlSystem(TransactionalSystem):
             if signal is not None and not signal.triggered:
                 signal.succeed()
 
-    def _wait_if_paused(self):
-        while self._paused:
-            if self._resume_signal is None:
-                self._resume_signal = self.env.event()
-            yield self._resume_signal
+    def _wait_if_paused(self) -> Event:
+        """Awaitable call: resolved now unless a reconfig pause is active.
+
+        Flat-event protocol — the caller always ``yield``s the result;
+        when the shard is not paused that costs nothing (the process
+        trampoline short-circuits the resolved event).
+        """
+        if not self._paused:
+            return self.env.resolved()
+        if self._resume_signal is None:
+            self._resume_signal = self.env.event()
+        return self._resume_signal
 
     # -- shard execution ------------------------------------------------------------
 
@@ -137,7 +144,7 @@ class AhlSystem(TransactionalSystem):
         req = pipeline.request()
         yield req
         try:
-            yield from self._wait_if_paused()
+            yield self._wait_if_paused()
             yield self.env.timeout(cost)
         finally:
             pipeline.release(req)
@@ -151,7 +158,7 @@ class AhlSystem(TransactionalSystem):
 
     def _do_txn(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
-        yield from self.client_node.nic_out.serve(
+        yield self.client_node.nic_out.serve_event(
             self.costs.net_send_overhead
             + self.costs.transfer_time(256 + txn.payload_size))
         yield self.env.timeout(self.costs.net_latency)

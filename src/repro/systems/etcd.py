@@ -78,11 +78,11 @@ class EtcdSystem(TransactionalSystem):
             return
         size = 64 + txn.payload_size
         # client -> leader request over the wire
-        yield from self.client_node.nic_out.serve(
+        yield self.client_node.nic_out.serve_event(
             self.costs.net_send_overhead + self.costs.transfer_time(size))
         yield self.env.timeout(self.costs.net_latency)
         # gRPC decode + mvcc txn wrap on the leader (parallel across cores)
-        yield from leader.node.compute(self.costs.etcd_request_cpu)
+        yield leader.node.compute(self.costs.etcd_request_cpu)
         commit_ev = leader.propose(txn, size=size)
         try:
             yield commit_ev
@@ -94,7 +94,7 @@ class EtcdSystem(TransactionalSystem):
         self._waiters[txn.txn_id] = apply_ev
         yield apply_ev
         # response back to the client
-        yield from leader.node.nic_out.serve(
+        yield leader.node.nic_out.serve_event(
             self.costs.net_send_overhead + self.costs.transfer_time(128))
         yield self.env.timeout(self.costs.net_latency)
         # status (committed / logic-aborted) was set by the apply loop
@@ -107,7 +107,7 @@ class EtcdSystem(TransactionalSystem):
         node = self.servers[0]
         while True:
             _index, txn = yield applied.get()
-            yield from node.disk.serve(
+            yield node.disk.serve_event(
                 self.costs.raft_apply + self.costs.store_put)
             self._version += 1
             # Single consensus order == serial execution: run the
@@ -129,14 +129,14 @@ class EtcdSystem(TransactionalSystem):
     def _do_query(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
         server = self._pick_round_robin(self.servers)
-        yield from self.client_node.nic_out.serve(
+        yield self.client_node.nic_out.serve_event(
             self.costs.net_send_overhead + self.costs.transfer_time(96))
         yield self.env.timeout(self.costs.net_latency)
         read_path = self._read_paths[server.name]
         for op in txn.ops:
-            yield from read_path.serve(self.costs.etcd_read_cpu)
+            yield read_path.serve_event(self.costs.etcd_read_cpu)
             value, _version = self.state.get(op.key)
-        yield from server.nic_out.serve(
+        yield server.nic_out.serve_event(
             self.costs.net_send_overhead
             + self.costs.transfer_time(64 + txn.payload_size))
         yield self.env.timeout(self.costs.net_latency)

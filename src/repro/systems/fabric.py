@@ -59,6 +59,76 @@ class _Peer:
         self.blocks_committed = 0
 
 
+class _Endorsement:
+    """Proposal simulation + endorsement at one peer, as a flat chain.
+
+    The hottest fan-out in the Fabric model (one per transaction per
+    endorsing peer).  Each stage parks a single callback on its event —
+    client NIC egress, propagation, peer CPU, response NIC egress,
+    propagation — issuing the identical schedule sequence the spawned
+    ``_endorse_at`` coroutine did; :attr:`done` is succeeded through the
+    scheduler exactly where the endorsement process's completion event
+    landed, so the client's ``AllOf`` barrier sees no difference.
+    """
+
+    __slots__ = ("system", "peer", "txn", "out", "done", "result")
+
+    def __init__(self, system: "FabricSystem", peer: _Peer,
+                 txn: Transaction, out: list):
+        self.system = system
+        self.peer = peer
+        self.txn = txn
+        self.out = out
+        self.done = Event(system.env)
+        self.result = None
+
+    def start(self) -> Event:
+        self.system.env._schedule_call(self._send_proposal, None)
+        return self.done
+
+    def _send_proposal(self, _arg) -> None:
+        system = self.system
+        size = 256 + self.txn.payload_size
+        ev = system.client_node.nic_out.serve_event(
+            system.costs.net_send_overhead + system.costs.transfer_time(size))
+        ev.callbacks.append(self._proposal_sent)
+
+    def _proposal_sent(self, _ev: Event) -> None:
+        system = self.system
+        timer = system.env.timeout(system.costs.net_latency)
+        timer.callbacks.append(self._proposal_arrived)
+
+    def _proposal_arrived(self, _ev: Event) -> None:
+        system = self.system
+        ev = self.peer.node.compute(system.costs.sig_verify
+                                    + system.costs.fabric_simulate
+                                    + system.costs.fabric_endorse)
+        ev.callbacks.append(self._simulated)
+
+    def _simulated(self, _ev: Event) -> None:
+        # Simulate against this peer's local committed state.
+        system = self.system
+        txn = self.txn
+        probe = Transaction(ops=txn.ops, client=txn.client, logic=txn.logic)
+        read_set = self.peer.simulator.simulate(probe)
+        self.result = (read_set, probe)
+        ev = self.peer.node.nic_out.serve_event(
+            system.costs.net_send_overhead
+            + system.costs.transfer_time(512 + txn.payload_size))
+        ev.callbacks.append(self._response_sent)
+
+    def _response_sent(self, _ev: Event) -> None:
+        system = self.system
+        timer = system.env.timeout(system.costs.net_latency)
+        timer.callbacks.append(self._response_arrived)
+
+    def _response_arrived(self, _ev: Event) -> None:
+        # Appended here — not at simulation time — because completion
+        # order decides which endorsement's rw-set the client adopts.
+        self.out.append(self.result)
+        self.done.succeed()
+
+
 class FabricSystem(TransactionalSystem):
     name = "fabric"
 
@@ -120,31 +190,12 @@ class FabricSystem(TransactionalSystem):
         self.spawn(self._do_update(txn, done), name="fabric-update")
         return done
 
-    def _endorse_at(self, peer: _Peer, txn: Transaction, out: list):
-        """Proposal simulation + endorsement at one peer."""
-        size = 256 + txn.payload_size
-        yield from self.client_node.nic_out.serve(
-            self.costs.net_send_overhead + self.costs.transfer_time(size))
-        yield self.env.timeout(self.costs.net_latency)
-        yield from peer.node.compute(self.costs.sig_verify
-                                     + self.costs.fabric_simulate
-                                     + self.costs.fabric_endorse)
-        # Simulate against this peer's local committed state.
-        probe = Transaction(ops=txn.ops, client=txn.client, logic=txn.logic)
-        read_set = peer.simulator.simulate(probe)
-        yield from peer.node.nic_out.serve(
-            self.costs.net_send_overhead
-            + self.costs.transfer_time(512 + txn.payload_size))
-        yield self.env.timeout(self.costs.net_latency)
-        out.append((read_set, probe))
-
     def _do_update(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
         execute_start = self.env.now
         endorsers = self.peers[:self.endorsement_policy]
         results: list = []
-        jobs = [self.spawn(self._endorse_at(peer, txn, results),
-                           name="fabric-endorse")
+        jobs = [_Endorsement(self, peer, txn, results).start()
                 for peer in endorsers]
         yield self.env.all_of(jobs)
         txn.phases["execute"] = self.env.now - execute_start
@@ -166,7 +217,7 @@ class FabricSystem(TransactionalSystem):
         wire = envelope_size(txn, self.endorsement_policy,
                              self.costs.certificate_size,
                              self.costs.signature_size)
-        yield from self.client_node.nic_out.serve(
+        yield self.client_node.nic_out.serve_event(
             self.costs.net_send_overhead + self.costs.transfer_time(wire))
         yield self.env.timeout(self.costs.net_latency)
         commit_ev = self.env.event()
@@ -206,7 +257,7 @@ class FabricSystem(TransactionalSystem):
                 # across the peer's cores (the paper notes serial
                 # validation is an implementation choice).
                 def one_vscc(txn_):
-                    yield from peer.node.compute(
+                    yield peer.node.compute(
                         vscc + self.costs.fabric_mvcc_check)
                 jobs = [self.spawn(one_vscc(t), name="fabric-vscc")
                         for t in txns]
@@ -214,7 +265,7 @@ class FabricSystem(TransactionalSystem):
                     yield self.env.all_of(jobs)
             for txn in txns:
                 if self.serial_validation:
-                    yield from peer.validation_thread.serve(
+                    yield peer.validation_thread.serve_event(
                         vscc + self.costs.fabric_mvcc_check)
                 if is_reference:
                     ok = peer.validator.validate_and_commit(txn, block_version)
@@ -229,7 +280,7 @@ class FabricSystem(TransactionalSystem):
                     if peer.state_tree is not None:
                         for key, value in txn.write_set.items():
                             peer.ledger.stage_write(key.encode(), value)
-                    yield from peer.validation_thread.serve(
+                    yield peer.validation_thread.serve_event(
                         self.costs.fabric_commit_per_txn)
             peer.ledger.append_block(
                 txns, timestamp=self.env.now,
@@ -259,7 +310,7 @@ class FabricSystem(TransactionalSystem):
     def _do_query(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
         peer = self._pick_round_robin(self.peers)
-        yield from self.client_node.nic_out.serve(
+        yield self.client_node.nic_out.serve_event(
             self.costs.net_send_overhead + self.costs.transfer_time(256))
         yield self.env.timeout(self.costs.net_latency)
         # Client authentication + chaincode simulation + endorsement sign,
@@ -280,7 +331,7 @@ class FabricSystem(TransactionalSystem):
             txn.phases["endorsement"] = self.env.now - start
         finally:
             peer.query_pool.release(req)
-        yield from peer.node.nic_out.serve(
+        yield peer.node.nic_out.serve_event(
             self.costs.net_send_overhead
             + self.costs.transfer_time(256 + txn.payload_size))
         yield self.env.timeout(self.costs.net_latency)

@@ -118,7 +118,9 @@ class HybridSystem(TransactionalSystem):
                 self.env, self.servers, self.network, self.costs,
                 TendermintConfig(
                     block_interval=self.spec.get("block_interval", 0.1),
-                    max_block_txns=self.spec.get("max_block_txns", 512)),
+                    max_block_txns=self.spec.get("max_block_txns", 512),
+                    skip_empty_blocks=self.spec.get("skip_empty_blocks",
+                                                    False)),
                 rng=self.rng)
             self._proposer = self.backend.propose
         elif kind == "pow":
@@ -169,11 +171,11 @@ class HybridSystem(TransactionalSystem):
     def _do_submit(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
         size = 256 + txn.payload_size
-        yield from self.client_node.nic_out.serve(
+        yield self.client_node.nic_out.serve_event(
             self.costs.net_send_overhead + self.costs.transfer_time(size))
         yield self.env.timeout(self.costs.net_latency)
         entry = self._pick_round_robin(self.servers)
-        yield from entry.compute(self.costs.store_get)
+        yield entry.compute(self.costs.store_get)
         if self.profile.concurrency is \
                 ConcurrencyModel.CONCURRENT_EXECUTION_SERIAL_COMMIT:
             # speculative execution before ordering (Fabric/Veritas style)
@@ -200,7 +202,7 @@ class HybridSystem(TransactionalSystem):
         while True:
             txn, done = yield self._commit_stream.get()
             cost = serial_cost + self._index_cost(txn.payload_size)
-            yield from thread.serve(cost)
+            yield thread.serve_event(cost)
             self._version += 1
             if self.profile.concurrency is \
                     ConcurrencyModel.CONCURRENT_EXECUTION_SERIAL_COMMIT:
@@ -244,7 +246,7 @@ class HybridSystem(TransactionalSystem):
         server = self._pick_round_robin(self.servers)
         yield self.env.timeout(2 * self.costs.net_latency)
         for op in txn.ops:
-            yield from server.compute(self.costs.store_get)
+            yield server.compute(self.costs.store_get)
             self.state.get(op.key)
         txn.mark_committed()
         done.succeed(txn)

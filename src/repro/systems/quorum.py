@@ -35,6 +35,47 @@ from .base import SystemConfig, TransactionalSystem
 __all__ = ["QuorumSystem"]
 
 
+class _Submission:
+    """Client submission to the leader txpool, as a flat chain.
+
+    Client NIC egress -> propagation -> leader txpool CPU -> mempool
+    put, one parked callback per stage — the identical schedule sequence
+    the spawned ``_do_submit`` coroutine issued (whose completion event
+    carried no waiters, so dropping it is unobservable).
+    """
+
+    __slots__ = ("system", "txn", "done")
+
+    def __init__(self, system: "QuorumSystem", txn: Transaction, done: Event):
+        self.system = system
+        self.txn = txn
+        self.done = done
+
+    def start(self) -> None:
+        self.system.env._schedule_call(self._send, None)
+
+    def _send(self, _arg) -> None:
+        system = self.system
+        self.txn.submitted_at = system.env.now
+        size = 192 + self.txn.payload_size
+        ev = system.client_node.nic_out.serve_event(
+            system.costs.net_send_overhead + system.costs.transfer_time(size))
+        ev.callbacks.append(self._sent)
+
+    def _sent(self, _ev: Event) -> None:
+        system = self.system
+        timer = system.env.timeout(system.costs.net_latency)
+        timer.callbacks.append(self._arrived)
+
+    def _arrived(self, _ev: Event) -> None:
+        system = self.system
+        ev = system.servers[0].compute(system.costs.quorum_txpool_cpu)
+        ev.callbacks.append(self._pooled)
+
+    def _pooled(self, _ev: Event) -> None:
+        self.system.mempool.put((self.txn, self.done))
+
+
 class QuorumSystem(TransactionalSystem):
     name = "quorum"
 
@@ -120,18 +161,8 @@ class QuorumSystem(TransactionalSystem):
 
     def submit(self, txn: Transaction) -> Event:
         done = self.env.event()
-        self.spawn(self._do_submit(txn, done), name="quorum-submit")
+        _Submission(self, txn, done).start()
         return done
-
-    def _do_submit(self, txn: Transaction, done: Event):
-        txn.submitted_at = self.env.now
-        size = 192 + txn.payload_size
-        yield from self.client_node.nic_out.serve(
-            self.costs.net_send_overhead + self.costs.transfer_time(size))
-        yield self.env.timeout(self.costs.net_latency)
-        leader = self.servers[0]
-        yield from leader.compute(self.costs.quorum_txpool_cpu)
-        self.mempool.put((txn, done))
 
     # -- block production (order-execute) ----------------------------------------------------
 
@@ -148,7 +179,7 @@ class QuorumSystem(TransactionalSystem):
             proposal_start = self.env.now
             # Phase 1: serial pre-execution at the tip (proposal).
             for txn, _done in batch:
-                yield from evm.serve(self._exec_cost(txn))
+                yield evm.serve_event(self._exec_cost(txn))
             for txn, _done in batch:
                 txn.phases["proposal"] = self.env.now - proposal_start
             # Phase 2: consensus on the assembled block.
@@ -176,7 +207,7 @@ class QuorumSystem(TransactionalSystem):
                 # once per block, not once per write).
                 mpt_cost = (self.costs.evm_exec_time(txn.payload_size)
                             if batched else self._exec_cost(txn))
-                yield from evm.serve(self.costs.sig_verify + mpt_cost)
+                yield evm.serve_event(self.costs.sig_verify + mpt_cost)
                 self._version += 1
                 self.executor.execute(txn, self._version)
                 if self.state_trie is not None:
@@ -194,7 +225,7 @@ class QuorumSystem(TransactionalSystem):
                 self.mpt_hashes_charged += delta
                 for stream in self._delta_streams.values():
                     stream.put(delta)
-                yield from evm.serve(self.costs.mpt_commit_time(delta))
+                yield evm.serve_event(self.costs.mpt_commit_time(delta))
                 for txn, done in batch:
                     txn.phases["commit"] = self.env.now - commit_start
                     self._finish(done, txn)
@@ -227,15 +258,15 @@ class QuorumSystem(TransactionalSystem):
                     continue
                 if deltas is None:
                     for txn in block_txns:
-                        yield from evm.serve(self.costs.sig_verify
-                                             + self._exec_cost(txn))
+                        yield evm.serve_event(self.costs.sig_verify
+                                              + self._exec_cost(txn))
                 else:
                     for txn in block_txns:
-                        yield from evm.serve(
+                        yield evm.serve_event(
                             self.costs.sig_verify
                             + self.costs.evm_exec_time(txn.payload_size))
                     delta = yield deltas.get()
-                    yield from evm.serve(self.costs.mpt_commit_time(delta))
+                    yield evm.serve_event(self.costs.mpt_commit_time(delta))
 
     # -- queries ---------------------------------------------------------------------------------
 
@@ -247,7 +278,7 @@ class QuorumSystem(TransactionalSystem):
     def _do_query(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
         server = self._pick_round_robin(self.servers)
-        yield from self.client_node.nic_out.serve(
+        yield self.client_node.nic_out.serve_event(
             self.costs.net_send_overhead + self.costs.transfer_time(192))
         yield self.env.timeout(self.costs.net_latency)
         pool = getattr(server, "_query_pool", None)
@@ -262,7 +293,7 @@ class QuorumSystem(TransactionalSystem):
                 self.state.get(op.key)
         finally:
             pool.release(req)
-        yield from server.nic_out.serve(
+        yield server.nic_out.serve_event(
             self.costs.net_send_overhead
             + self.costs.transfer_time(128 + txn.payload_size))
         yield self.env.timeout(self.costs.net_latency)

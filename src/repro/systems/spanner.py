@@ -66,10 +66,10 @@ class SpannerSystem(TransactionalSystem):
     def _paxos_write(self, shard: int, size: int):
         """One Paxos consensus round at a shard (modelled)."""
         leader = self.shard_leaders[shard]
-        yield from self.log_threads[leader.name].serve(
+        yield self.log_threads[leader.name].serve_event(
             self.costs.raft_propose + self.costs.raft_apply
             + self.costs.store_put)
-        yield from leader.nic_out.serve(
+        yield leader.nic_out.serve_event(
             2 * (self.costs.net_send_overhead
                  + self.costs.transfer_time(size)))
         yield self.env.timeout(2 * self.costs.net_latency)  # round trip
@@ -83,13 +83,13 @@ class SpannerSystem(TransactionalSystem):
 
     def _do_txn(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
-        yield from self.client_node.nic_out.serve(
+        yield self.client_node.nic_out.serve_event(
             self.costs.net_send_overhead
             + self.costs.transfer_time(128 + txn.payload_size))
         yield self.env.timeout(self.costs.net_latency)
         coordinator_shard = self._shard_of(txn.ops[0].key)
         coordinator = self.shard_leaders[coordinator_shard]
-        yield from coordinator.compute(self.costs.spanner_request_cpu)
+        yield coordinator.compute(self.costs.spanner_request_cpu)
         held: list[str] = []
         try:
             committed = yield from self._locked_attempt(txn, held)
@@ -162,12 +162,12 @@ class SpannerSystem(TransactionalSystem):
 
     def _do_query(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
-        yield from self.client_node.nic_out.serve(
+        yield self.client_node.nic_out.serve_event(
             self.costs.net_send_overhead + self.costs.transfer_time(96))
         yield self.env.timeout(self.costs.net_latency)
         for op in txn.ops:
             leader = self.shard_leaders[self._shard_of(op.key)]
-            yield from leader.compute(self.costs.store_get)
+            yield leader.compute(self.costs.store_get)
             self.state.get(op.key)
         yield self.env.timeout(self.costs.net_latency)
         txn.mark_committed()

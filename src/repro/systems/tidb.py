@@ -90,13 +90,13 @@ class TiDBSystem(TransactionalSystem):
         txn.submitted_at = self.env.now
         server = self._pick_round_robin(self.servers)
         size = 128 + txn.payload_size
-        yield from self.client_node.nic_out.serve(
+        yield self.client_node.nic_out.serve_event(
             self.costs.net_send_overhead + self.costs.transfer_time(size))
         yield self.env.timeout(self.costs.net_latency)
         # SQL layer: protocol + parse + compile (parallel across cores)
-        yield from server.compute(self.costs.tidb_session_cpu
-                                  + self.costs.sql_parse
-                                  + self.costs.sql_compile)
+        yield server.compute(self.costs.tidb_session_cpu
+                             + self.costs.sql_parse
+                             + self.costs.sql_compile)
         attempts = 0
         while True:
             committed = yield from self._attempt(txn, server)
@@ -110,7 +110,7 @@ class TiDBSystem(TransactionalSystem):
             txn.read_set.clear()
             txn.write_set.clear()
             yield self.env.timeout(self.costs.tidb_retry_backoff)
-        yield from server.nic_out.serve(
+        yield server.nic_out.serve_event(
             self.costs.net_send_overhead + self.costs.transfer_time(128))
         yield self.env.timeout(self.costs.net_latency)
         done.succeed(txn)
@@ -122,7 +122,7 @@ class TiDBSystem(TransactionalSystem):
         reads: dict[str, bytes] = {}
         for op in txn.ops:
             if op.op_type in (OpType.READ, OpType.UPDATE):
-                yield from server.compute(self.costs.store_get)
+                yield server.compute(self.costs.store_get)
                 value, version = yield self.cluster.kv_read(op.key)
                 txn.read_set[op.key] = version
                 reads[op.key] = value if value is not None else b""
@@ -171,7 +171,7 @@ class TiDBSystem(TransactionalSystem):
             prewrites = []
             for key in keys:
                 node = self.cluster.leader_node(key)
-                yield from self.cluster.store_threads[node.name].serve(
+                yield self.cluster.store_threads[node.name].serve_event(
                     self.costs.percolator_prewrite_cpu)
                 prewrites.append(self.cluster.kv_write(
                     key, write_set[key],
@@ -180,7 +180,7 @@ class TiDBSystem(TransactionalSystem):
             # Commit: consensus write on the primary's group decides.
             commit_ts = self.oracle.next()
             primary_node = self.cluster.leader_node(primary)
-            yield from self.cluster.store_threads[primary_node.name].serve(
+            yield self.cluster.store_threads[primary_node.name].serve_event(
                 self.costs.percolator_commit_cpu)
             yield self.cluster.kv_write(
                 primary, write_set[primary],
@@ -210,23 +210,23 @@ class TiDBSystem(TransactionalSystem):
     def _do_query(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
         server = self._pick_round_robin(self.servers)
-        yield from self.client_node.nic_out.serve(
+        yield self.client_node.nic_out.serve_event(
             self.costs.net_send_overhead + self.costs.transfer_time(128))
         yield self.env.timeout(self.costs.net_latency)
         phase_start = self.env.now
-        yield from server.compute(self.costs.sql_parse)
+        yield server.compute(self.costs.sql_parse)
         txn.phases["sql-parse"] = self.env.now - phase_start
         phase_start = self.env.now
-        yield from server.compute(self.costs.sql_compile)
+        yield server.compute(self.costs.sql_compile)
         txn.phases["sql-compile"] = self.env.now - phase_start
         phase_start = self.env.now
         for op in txn.ops:
             # Coprocessor client work on the TiDB server dominates the
             # measured "Storage-get" (Fig. 8b: 275 us).
-            yield from server.compute(260e-6)
+            yield server.compute(260e-6)
             yield self.cluster.kv_read(op.key)
         txn.phases["storage-get"] = self.env.now - phase_start
-        yield from server.nic_out.serve(
+        yield server.nic_out.serve_event(
             self.costs.net_send_overhead
             + self.costs.transfer_time(64 + txn.payload_size))
         yield self.env.timeout(self.costs.net_latency)

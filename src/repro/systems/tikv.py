@@ -99,7 +99,7 @@ class TikvCluster:
         group = self.groups[group_id]
         node = self.nodes[group_id]
         # gRPC + scheduler work (parallel across cores)
-        yield from node.compute(self.costs.tikv_request_cpu)
+        yield node.compute(self.costs.tikv_request_cpu)
         record = {"key": key, "value": value, "meta": meta or {}}
         ev = group.propose(record, size=96 + len(key) + len(value))
         try:
@@ -123,8 +123,8 @@ class TikvCluster:
         thread = self.store_threads[node_name]
         while True:
             index, record = yield applied.get()
-            yield from thread.serve(self.costs.tikv_apply
-                                    + self.costs.store_put)
+            yield thread.serve_event(self.costs.tikv_apply
+                                     + self.costs.store_put)
             if not is_leader:
                 continue
             self._version += 1
@@ -143,7 +143,7 @@ class TikvCluster:
 
     def _do_read(self, key: str, done: Event):
         node = self.leader_node(key)
-        yield from self.read_paths[node.name].serve(self.costs.tikv_read_cpu)
+        yield self.read_paths[node.name].serve_event(self.costs.tikv_read_cpu)
         value, version = self.state.get(key)
         done.succeed((value, version))
 
@@ -179,7 +179,7 @@ class TikvSystem(TransactionalSystem):
     def _do_update(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
         size = 64 + txn.payload_size
-        yield from self.client_node.nic_out.serve(
+        yield self.client_node.nic_out.serve_event(
             self.costs.net_send_overhead + self.costs.transfer_time(size))
         yield self.env.timeout(self.costs.net_latency)
         for op in txn.ops:
@@ -191,7 +191,7 @@ class TikvSystem(TransactionalSystem):
                     done.succeed(txn)
                     return
         node = self.cluster.leader_node(txn.ops[0].key)
-        yield from node.nic_out.serve(
+        yield node.nic_out.serve_event(
             self.costs.net_send_overhead + self.costs.transfer_time(128))
         yield self.env.timeout(self.costs.net_latency)
         txn.mark_committed()
@@ -204,13 +204,13 @@ class TikvSystem(TransactionalSystem):
 
     def _do_query(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
-        yield from self.client_node.nic_out.serve(
+        yield self.client_node.nic_out.serve_event(
             self.costs.net_send_overhead + self.costs.transfer_time(96))
         yield self.env.timeout(self.costs.net_latency)
         for op in txn.ops:
             yield self.cluster.kv_read(op.key)
         node = self.cluster.leader_node(txn.ops[0].key)
-        yield from node.nic_out.serve(
+        yield node.nic_out.serve_event(
             self.costs.net_send_overhead
             + self.costs.transfer_time(64 + txn.payload_size))
         yield self.env.timeout(self.costs.net_latency)

@@ -49,9 +49,10 @@ class Op:
     key: str
     value: bytes = b""
 
-    @property
-    def is_write(self) -> bool:
-        return self.op_type in (OpType.WRITE, OpType.UPDATE)
+    def __post_init__(self):
+        # Plain attribute, not a property: op_type is fixed at creation
+        # and this predicate runs in every system's hot path.
+        self.is_write = self.op_type in (OpType.WRITE, OpType.UPDATE)
 
 
 @dataclass
@@ -92,8 +93,19 @@ class Transaction:
 
     @property
     def payload_size(self) -> int:
-        """Total bytes of written values (drives message/ledger sizes)."""
-        return sum(len(op.value) for op in self.ops if op.is_write)
+        """Total bytes of written values (drives message/ledger sizes).
+
+        Cached on first access: ``ops`` is fixed at creation, and every
+        system model re-reads this several times per hop.
+        """
+        size = self._payload_size
+        if size is None:
+            size = self._payload_size = sum(
+                len(op.value) for op in self.ops if op.is_write)
+        return size
+
+    _payload_size: Optional[int] = field(
+        default=None, repr=False, compare=False)
 
     def mark_committed(self) -> None:
         self.status = TxnStatus.COMMITTED

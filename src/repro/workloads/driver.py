@@ -1,10 +1,19 @@
 """Closed-loop benchmark driver (the Caliper / YCSB-driver / OLTPBench role).
 
-``run_closed_loop`` spawns N client processes against a system; each
+``run_closed_loop`` drives N closed-loop clients against a system; each
 client submits the next workload transaction, waits for its fate, and
 moves on.  Throughput is measured over a post-warm-up window of committed
 transactions; latency and abort statistics mirror what the paper's
 drivers report.
+
+Clients are *multiplexed*: instead of one generator coroutine per client
+(10k clients = 10k live frames resumed through the process trampoline),
+clients are grouped into cohorts of explicit state-machine slots
+(:class:`_ClientSlot`) driven entirely by event callbacks.  A slot issues
+the identical schedule sequence the old client generator did — same
+bootstrap callback, same stagger timer, same submit/timeout/AnyOf per
+transaction — so seeded runs are byte-identical, but a 10k-client run
+costs 10k tiny objects and zero generators.
 """
 
 from __future__ import annotations
@@ -12,12 +21,98 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..sim.kernel import Environment
+from ..sim.kernel import Environment, Event
 from ..sim.metrics import TxnStats
 from ..txn.transaction import Transaction, TxnStatus
 from .ycsb import YcsbWorkload
 
 __all__ = ["DriverConfig", "RunResult", "run_closed_loop", "measure_system"]
+
+class _ClientCohort:
+    """The client-multiplexer context shared by every slot of a run.
+
+    Slots are driven by callbacks (no process per client and none per
+    cohort either), so the cohort's job is purely to hold the run-wide
+    driver state each slot transition reads — one object dereference per
+    wake instead of six captured closure cells per client.
+    """
+
+    __slots__ = ("env", "submit", "next_txn", "txn_timeout", "state",
+                 "record", "slots")
+
+    def __init__(self, env: Environment, submit: Callable, next_txn: Callable,
+                 txn_timeout: float, state: dict, record: Callable):
+        self.env = env
+        self.submit = submit
+        self.next_txn = next_txn
+        self.txn_timeout = txn_timeout
+        self.state = state
+        self.record = record
+        self.slots: list[_ClientSlot] = []
+
+
+class _ClientSlot:
+    """One closed-loop client as an explicit state machine.
+
+    State transitions mirror the retired client generator exactly:
+    bootstrap (same ``_schedule_call`` position a ``Process`` bootstrap
+    used), optional stagger timer, then a submit → wait-fate → record
+    loop where the wait parks one callback on an ``AnyOf(fate, timer)``.
+    An infrastructure failure delivered through the AnyOf (the generator
+    form's ``except Exception: continue``) moves straight to the next
+    transaction.
+    """
+
+    __slots__ = ("cohort", "name", "stagger", "txn", "ev", "timer")
+
+    def __init__(self, cohort: _ClientCohort, name: str, stagger: float):
+        self.cohort = cohort
+        self.name = name
+        self.stagger = stagger
+        self.txn: Optional[Transaction] = None
+        self.ev: Optional[Event] = None
+        self.timer = None
+
+    def _bootstrap(self, _arg) -> None:
+        if self.stagger > 0:
+            timer = self.cohort.env.timeout(self.stagger)
+            timer.callbacks.append(self._staggered)
+        else:
+            self._next()
+
+    def _staggered(self, _ev: Event) -> None:
+        self._next()
+
+    def _next(self) -> None:
+        """Submit transactions until parked on a fate, or the run is done."""
+        cohort = self.cohort
+        env = cohort.env
+        state = cohort.state
+        if state["done"]:
+            self.txn = self.ev = self.timer = None
+            return
+        txn = cohort.next_txn(self.name)
+        ev = cohort.submit(txn)
+        timer = env.timeout(cohort.txn_timeout)
+        fate = env.any_of([ev, timer])
+        self.txn, self.ev, self.timer = txn, ev, timer
+        fate.callbacks.append(self._woke)
+
+    def _woke(self, fate: Event) -> None:
+        # Withdraw the losing timer so completed transactions don't each
+        # leave a dead heap entry behind for txn_timeout seconds.
+        self.timer.cancel()
+        cohort = self.cohort
+        ev = self.ev
+        if fate._ok:
+            if not ev._triggered:
+                # Count timeouts observed before measurement completed;
+                # post-measurement stragglers are not part of the result.
+                if not cohort.state["done"]:
+                    cohort.state["timeouts"] += 1
+            elif ev._ok:
+                cohort.record(self.txn)
+        self._next()
 
 
 @dataclass
@@ -115,38 +210,17 @@ def run_closed_loop(
             if not finished.triggered:
                 finished.succeed()
 
-    def client(name: str, stagger: float):
-        # Stagger start-up so closed-loop clients don't convoy in lockstep.
-        if stagger > 0:
-            yield env.timeout(stagger)
-        while not state["done"]:
-            txn = next_txn(name)
-            submit = (system.submit_query if cfg.query_mode
-                      else system.submit)
-            ev = submit(txn)
-            timer = env.timeout(cfg.txn_timeout)
-            try:
-                yield env.any_of([ev, timer])
-            except Exception:
-                continue  # infrastructure error (e.g. leader failover)
-            finally:
-                # Withdraw the losing timer so completed transactions don't
-                # each leave a dead heap entry behind for txn_timeout secs.
-                timer.cancel()
-            if not ev.triggered:
-                # Count timeouts observed before measurement completed;
-                # post-measurement stragglers are not part of the result
-                # (the run stops at the watchdog and never sees them).
-                if not state["done"]:
-                    state["timeouts"] += 1
-                continue
-            if not ev.ok:
-                continue
-            record(txn)
-
+    # Cohort multiplexer: clients are state-machine slots, not processes.
+    # Bootstrap callbacks are scheduled in client order — the identical
+    # position the per-client Process bootstraps occupied — and start-up
+    # is staggered so closed-loop clients don't convoy in lockstep.
+    submit = system.submit_query if cfg.query_mode else system.submit
+    cohort = _ClientCohort(env, submit, next_txn, cfg.txn_timeout, state,
+                           record)
     for i in range(cfg.clients):
-        env.process(client(f"client-{i}", i * 0.0003),
-                    name=f"driver-client-{i}")
+        slot = _ClientSlot(cohort, f"client-{i}", i * 0.0003)
+        cohort.slots.append(slot)
+        env._schedule_call(slot._bootstrap, None)
 
     def watchdog():
         wall = env.timeout(cfg.max_sim_time)

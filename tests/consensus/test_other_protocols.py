@@ -134,6 +134,55 @@ def test_tendermint_one_height_at_a_time(env):
     assert heights == sorted(heights)
 
 
+def test_tendermint_idle_skip_suppresses_empty_blocks(env):
+    network, nodes = make_cluster(env, 4, prefix="t")
+    group = TendermintGroup(
+        env, nodes, network,
+        config=TendermintConfig(block_interval=0.05,
+                                skip_empty_blocks=True),
+        rng=RngRegistry(8))
+    env.run(until=30)
+    # 30 idle seconds: the default mode would commit ~600 empty blocks;
+    # idle-skip commits none and schedules nothing while parked.
+    assert all(r.commits == 0 for r in group.replicas.values())
+    assert all(r.height == 1 for r in group.replicas.values())
+
+
+def test_tendermint_idle_skip_still_commits_proposals(env):
+    network, nodes = make_cluster(env, 4, prefix="t")
+    group = TendermintGroup(
+        env, nodes, network,
+        config=TendermintConfig(block_interval=0.05,
+                                skip_empty_blocks=True),
+        rng=RngRegistry(8))
+    results = []
+
+    def client(env):
+        yield env.timeout(5.0)             # a long idle stretch first
+        for i in range(6):
+            ev = group.propose({"op": i})
+            yield ev
+            results.append((env.now, ev.value))
+
+    env.process(client(env))
+    env.run(until=60)
+    assert len(results) == 6
+    heights = [h for _t, (h, _item) in results]
+    assert heights == sorted(heights)
+    # Idle again after the last commit: no further heights were produced.
+    assert max(r.height for r in group.replicas.values()) == max(heights) + 1
+
+
+def test_tendermint_idle_skip_empty_blocks_default_off(env):
+    network, nodes = make_cluster(env, 4, prefix="t")
+    group = TendermintGroup(env, nodes, network,
+                            config=TendermintConfig(block_interval=0.05),
+                            rng=RngRegistry(8))
+    env.run(until=10)
+    # Protocol-faithful default: empty blocks commit on the interval.
+    assert max(r.height for r in group.replicas.values()) > 10
+
+
 # -- chain replication -----------------------------------------------------------------
 
 def test_chain_replication_acks_at_tail(env):

@@ -1,0 +1,309 @@
+"""Tests for the flat-event fast paths: serve_event, the process
+trampoline, inline resolution, and interrupt/cancel delivery through
+short-circuited chains."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, Node
+from repro.sim.kernel import _MAX_INLINE_DEPTH, Event
+from repro.sim.resources import Resource
+
+
+# -- serve_event: uncontended --------------------------------------------------
+
+
+def test_serve_event_uncontended_holds_and_releases(env):
+    res = Resource(env, capacity=1)
+    finished = []
+
+    def worker(env):
+        yield res.serve_event(2.0)
+        finished.append(env.now)
+
+    env.process(worker(env))
+    env.run(until=1.0)
+    assert res.in_use == 1           # slot held during service
+    env.run()
+    assert finished == [2.0]
+    assert res.in_use == 0           # released at service end
+    assert res.total_requests == 1
+    assert res.busy_time == pytest.approx(2.0)
+
+
+def test_serve_event_matches_generator_serve_timing(env):
+    """Flat and generator forms must finish at identical times."""
+    res_a = Resource(env, capacity=2)
+    res_b = Resource(env, capacity=2)
+    flat, gen = [], []
+
+    def flat_worker(env, delay):
+        yield env.timeout(delay)
+        yield res_a.serve_event(1.5)
+        flat.append(env.now)
+
+    def gen_worker(env, delay):
+        yield env.timeout(delay)
+        yield from res_b.serve(1.5)
+        gen.append(env.now)
+
+    for d in (0.0, 0.1, 0.2, 0.3):   # 4 jobs on 2 slots: contention
+        env.process(flat_worker(env, d))
+        env.process(gen_worker(env, d))
+    env.run()
+    assert flat == gen
+
+
+# -- serve_event: contended ----------------------------------------------------
+
+
+def test_serve_event_contended_fifo_order(env):
+    res = Resource(env, capacity=1)
+    finished = []
+
+    def worker(env, name):
+        yield res.serve_event(1.0)
+        finished.append((env.now, name))
+
+    for i in range(4):
+        env.process(worker(env, i))
+    env.run()
+    # serial slot, FIFO grants: completion at 1, 2, 3, 4 in arrival order
+    assert finished == [(1.0, 0), (2.0, 1), (3.0, 2), (4.0, 3)]
+    assert res.queue_length == 0
+    assert res.in_use == 0
+
+
+def test_serve_event_contended_service_starts_at_grant(env):
+    res = Resource(env, capacity=1)
+    finished = []
+
+    def first(env):
+        yield res.serve_event(3.0)
+        finished.append(("first", env.now))
+
+    def second(env):
+        yield env.timeout(0.5)       # queues behind first at t=0.5
+        yield res.serve_event(2.0)
+        finished.append(("second", env.now))
+
+    env.process(first(env))
+    env.process(second(env))
+    env.run()
+    # second's service starts at t=3 (grant), not submission (t=0.5)
+    assert finished == [("first", 3.0), ("second", 5.0)]
+
+
+def test_serve_event_mixed_with_request_release(env):
+    """Flat serves interleave correctly with manual request()/release()."""
+    res = Resource(env, capacity=1)
+    log = []
+
+    def manual(env):
+        req = res.request()
+        yield req
+        yield env.timeout(1.0)
+        res.release(req)
+        log.append(("manual", env.now))
+
+    def flat(env):
+        yield res.serve_event(1.0)
+        log.append(("flat", env.now))
+
+    env.process(manual(env))
+    env.process(flat(env))
+    env.run()
+    assert log == [("manual", 1.0), ("flat", 2.0)]
+
+
+# -- release validation (validate-first fix) ----------------------------------
+
+
+def test_release_underflow_raises_without_corrupting(env):
+    res = Resource(env, capacity=2)
+    with pytest.raises(RuntimeError):
+        res.release(None)
+    # Validation happens before mutation: the resource is still usable.
+    assert res.in_use == 0
+    req = res.request()
+    assert req.triggered
+    assert res.in_use == 1
+    res.release(req)
+    assert res.in_use == 0
+    with pytest.raises(RuntimeError):
+        res.release(req)
+    assert res.in_use == 0
+    assert res.utilization() >= 0.0  # busy bookkeeping not corrupted
+
+
+# -- the process trampoline ----------------------------------------------------
+
+
+def test_trampoline_chain_of_resolved_events_is_flat(env):
+    """A long chain of already-processed events resumes iteratively —
+    no scheduler re-entry, no Python-stack growth, same timestep."""
+    log = []
+
+    def worker(env):
+        for i in range(10_000):
+            value = yield env.resolved(i)
+            assert value == i
+        log.append(env.now)
+
+    env.process(worker(env))
+    env.run()
+    assert log == [0.0]
+
+
+def test_resolved_event_carries_value_and_is_processed(env):
+    ev = env.resolved("v")
+    assert ev.triggered and ev.processed and ev.ok
+    assert ev.value == "v"
+
+
+def test_awaitable_call_helper_conditional_wait(env):
+    """The flat-event protocol: a helper returns either a live event or
+    a resolved one; the caller always yields it."""
+    gate = {"open": True}
+    pending = []
+
+    def helper():
+        if gate["open"]:
+            return env.resolved("fast")
+        ev = env.event()
+        pending.append(ev)
+        return ev
+
+    log = []
+
+    def worker(env):
+        log.append((yield helper()))     # resolved: same-timestep
+        gate["open"] = False
+        log.append((yield helper()))     # live event: parks
+        log.append(env.now)
+
+    env.process(worker(env))
+    env.run()
+    assert log == ["fast"]
+    pending[0].succeed("slow")
+    env.run()
+    assert log == ["fast", "slow", 0.0]
+
+
+# -- inline resolution ---------------------------------------------------------
+
+
+def test_resolve_runs_callbacks_inline(env):
+    order = []
+    ev = env.event()
+    ev.callbacks.append(lambda e: order.append(("cb", e.value)))
+    ev._resolve("x")
+    order.append("after")
+    assert order == [("cb", "x"), "after"]
+    assert ev.processed and ev.ok and ev.value == "x"
+
+
+def test_resolve_depth_limit_falls_back_to_heap(env):
+    """Past _MAX_INLINE_DEPTH nested resolutions, delivery degrades to a
+    scheduled succeed() — bounded stack, nothing lost."""
+    depth = 2 * _MAX_INLINE_DEPTH
+    events = [env.event() for _ in range(depth)]
+    fired = []
+
+    def chain(i):
+        def cb(_ev):
+            fired.append(i)
+            if i + 1 < depth:
+                events[i + 1]._resolve()
+        return cb
+
+    for i, ev in enumerate(events):
+        ev.callbacks.append(chain(i))
+    events[0]._resolve()
+    # the first _MAX_INLINE_DEPTH - 1 nested resolutions ran inline...
+    assert len(fired) == _MAX_INLINE_DEPTH
+    # ...and the rest drain through the scheduler without stack growth.
+    env.run()
+    assert fired == list(range(depth))
+
+
+def test_resolve_on_triggered_event_raises(env):
+    ev = env.event()
+    ev.succeed()
+    from repro.sim.kernel import SimulationError
+    with pytest.raises(SimulationError):
+        ev._resolve()
+
+
+# -- interrupt/cancel through short-circuited chains ---------------------------
+
+
+def test_interrupt_while_parked_on_serve_event(env):
+    """Interrupting a waiter parked on a flat serve delivers the
+    Interrupt at interrupt time; the slot itself is held to the
+    scheduled service end (the service is not cancelled)."""
+    node = Node(env, "n", cores=1)
+    log = []
+
+    def worker(env):
+        try:
+            yield node.compute(5.0)
+            log.append("done")
+        except Interrupt as exc:
+            log.append(("interrupted", env.now, exc.cause))
+
+    proc = env.process(worker(env))
+
+    def interrupter(env):
+        yield env.timeout(1.0)
+        proc.interrupt("stop")
+
+    env.process(interrupter(env))
+    env.run(until=3.0)
+    assert log == [("interrupted", 1.0, "stop")]
+    assert node.cpu.in_use == 1          # service still holds the core
+    env.run()
+    assert node.cpu.in_use == 0          # released at the scheduled end
+
+
+def test_interrupt_after_trampolined_chain(env):
+    """An interrupt lands correctly in a process that just trampolined
+    through a chain of resolved events and parked on a live one."""
+    log = []
+
+    def worker(env):
+        for i in range(100):
+            yield env.resolved(i)
+        try:
+            yield env.event()            # park forever
+        except Interrupt:
+            log.append(env.now)
+
+    proc = env.process(worker(env))
+
+    def interrupter(env):
+        yield env.timeout(2.0)
+        proc.interrupt()
+
+    env.process(interrupter(env))
+    env.run()
+    assert log == [2.0]
+
+
+def test_timer_cancel_alongside_serve_event(env):
+    """Driver pattern over the flat path: AnyOf(serve, timer) with the
+    losing timer cancelled — no dead heap entries linger."""
+    res = Resource(env, capacity=1)
+    log = []
+
+    def worker(env):
+        ev = res.serve_event(1.0)
+        timer = env.timeout(60.0)
+        yield env.any_of([ev, timer])
+        assert ev.triggered and not timer.triggered
+        assert timer.cancel()
+        log.append(env.now)
+
+    env.process(worker(env))
+    env.run()
+    assert log == [1.0]
+    assert env.now == 1.0                # nothing waited for the dead timer

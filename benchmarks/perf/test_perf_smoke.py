@@ -60,3 +60,14 @@ def test_scale_10k_clients_smoke_wall_budget():
     # BENCH-scale <5 s wall target is tracked in the trajectory files).
     assert result["clients"] == 10_000
     assert result["wall_s"] < 5.0, result
+
+
+def test_db_smoke_wall_budget():
+    from repro.bench.perf import bench_db
+    etcd, tidb = bench_db(scale=SMOKE, seed=7)
+    # DB-side chain paths: ~0.1s (etcd) / ~0.2s (tidb) on a dev box with
+    # the flat per-transaction chains; 10x headroom for CI.  Guards the
+    # chain objects — a reintroduced Process-per-transaction (or per 2PC
+    # participant) update path blows these budgets.
+    assert etcd["wall_s"] < 1.5, etcd
+    assert tidb["wall_s"] < 2.5, tidb

@@ -32,8 +32,8 @@ from ..workloads.zipf import ZipfGenerator
 from .harness import BENCH, SMOKE, Scale, run_point
 
 __all__ = ["bench_kernel", "bench_mpt", "bench_mbt", "bench_zipf",
-           "bench_driver", "bench_fabric", "bench_scale", "run_perf",
-           "write_trajectory"]
+           "bench_driver", "bench_fabric", "bench_scale", "bench_db",
+           "run_perf", "write_trajectory"]
 
 
 def bench_kernel(events: int = 200_000, _timed: bool = True) -> dict:
@@ -188,6 +188,20 @@ def bench_scale(scale: Scale = BENCH, seed: int = 7,
     return _bench_point("scale", "fabric", scale, seed, clients=clients)
 
 
+def bench_db(scale: Scale = BENCH, seed: int = 7) -> list[dict]:
+    """DB-side driver rates: the flattened chain paths.
+
+    etcd (single-Raft serial apply — the highest-throughput DB point,
+    so the heaviest per-transaction chain churn) and tidb (percolator
+    2PC over multi-Raft: per-key latches, a prewrite countdown fan-out,
+    and two consensus writes per transaction).  Both used to spawn one
+    Process per transaction (tidb: plus one per kv read/write); compare
+    ``wall_s`` across trajectory files, ``sim_tps`` must stay identical.
+    """
+    return [_bench_point("db-etcd", "etcd", scale, seed),
+            _bench_point("db-tidb", "tidb", scale, seed)]
+
+
 def run_perf(scale: Scale = BENCH) -> dict:
     """Run every microbenchmark, scaled down for smoke runs."""
     small = scale.name == "smoke"
@@ -199,6 +213,7 @@ def run_perf(scale: Scale = BENCH) -> dict:
         bench_driver(scale=SMOKE if small else scale),
         bench_fabric(scale=SMOKE if small else scale),
         bench_scale(scale=SMOKE if small else scale),
+        *bench_db(scale=SMOKE if small else scale),
     ]
     return {
         "scale": scale.name,
@@ -239,7 +254,7 @@ def format_perf(report: dict) -> str:
             line += (f"   (batched {r['speedup']}x vs per-write, "
                      f"{r['per_write']['hashes']} -> "
                      f"{r['batched']['hashes']} hashes)")
-        if name in ("driver", "fabric", "scale"):
+        if "sim_tps" in r:
             line += f"   (sim tps {r['sim_tps']:,.1f})"
         if name == "scale":
             line += f" [{r.get('clients', 0):,d} clients]"

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..sim.costs import CostModel, DEFAULT_COSTS
-from ..sim.kernel import Environment, Event, WakeableQueue
+from ..sim.kernel import Environment, Event, WakeableQueue, subscribe
 from ..sim.network import Message, Network
 from ..sim.node import Node
 from ..sim.resources import Store
@@ -49,6 +49,43 @@ class RaftConfig:
 class _Pending:
     entry: LogEntry
     event: Event
+
+
+class _Receiver:
+    """A replica's message pump as a perpetual flat chain.
+
+    One parked callback on ``inbox.get()`` and one on the receive-CPU
+    serve per message, then the synchronous protocol dispatch — the
+    identical wait sequence the old ``_receiver`` coroutine issued.  At
+    five nodes per group the receivers were the largest remaining
+    ``Process._resume`` source on the DB-side BENCH points (two resumes
+    per message, every message, every replica).
+    """
+
+    __slots__ = ("replica", "msg")
+
+    def __init__(self, replica: "RaftReplica"):
+        self.replica = replica
+        self.msg = None
+
+    def start(self) -> None:
+        self.replica.env._schedule_call(self._next, None)
+
+    def _next(self, _arg) -> None:
+        subscribe(self.replica.inbox.get(), self._got)
+
+    def _got(self, ev: Event) -> None:
+        replica = self.replica
+        if replica.node.crashed:
+            self._next(None)
+            return
+        self.msg = ev._value
+        serve = replica.node.compute(replica.costs.net_recv_overhead)
+        serve.callbacks.append(self._handle)
+
+    def _handle(self, _ev: Event) -> None:
+        self.replica._on_message(self.msg)
+        self._next(None)
 
 
 class RaftReplica:
@@ -99,7 +136,7 @@ class RaftReplica:
         self.elections_started = 0
         self.on_leader_change: Optional[Callable[[str], None]] = None
 
-        env.process(self._receiver(), name=f"raft-recv:{self.name}")
+        _Receiver(self).start()
         env.process(self._election_timer(), name=f"raft-timer:{self.name}")
 
     # -- helpers -----------------------------------------------------------
@@ -140,24 +177,20 @@ class RaftReplica:
 
     # -- receive loop -----------------------------------------------------------
 
-    def _receiver(self):
-        while True:
-            msg = yield self.inbox.get()
-            if self.node.crashed:
-                continue
-            yield self.node.compute(self.costs.net_recv_overhead)
-            payload = msg.payload
-            mtype = payload["type"]
-            if payload.get("term", 0) > self.term:
-                self._step_down(payload["term"])
-            if mtype == "request_vote":
-                self._on_request_vote(msg.src, payload)
-            elif mtype == "vote_reply":
-                self._on_vote_reply(msg.src, payload)
-            elif mtype == "append_entries":
-                self._on_append_entries(msg.src, payload)
-            elif mtype == "append_reply":
-                self._on_append_reply(msg.src, payload)
+    def _on_message(self, msg: Message) -> None:
+        """Synchronous protocol dispatch (driven by the _Receiver chain)."""
+        payload = msg.payload
+        mtype = payload["type"]
+        if payload.get("term", 0) > self.term:
+            self._step_down(payload["term"])
+        if mtype == "request_vote":
+            self._on_request_vote(msg.src, payload)
+        elif mtype == "vote_reply":
+            self._on_vote_reply(msg.src, payload)
+        elif mtype == "append_entries":
+            self._on_append_entries(msg.src, payload)
+        elif mtype == "append_reply":
+            self._on_append_reply(msg.src, payload)
 
     def _step_down(self, term: int) -> None:
         was_leader = self.role == LEADER

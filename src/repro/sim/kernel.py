@@ -72,10 +72,28 @@ __all__ = [
     "Process",
     "AllOf",
     "AnyOf",
+    "Countdown",
     "Interrupt",
     "SimulationError",
     "WakeableQueue",
+    "subscribe",
 ]
+
+
+def subscribe(ev: "Event", callback: Callable[["Event"], None]) -> None:
+    """Park ``callback`` on ``ev``, or invoke it now if already processed.
+
+    The chain-object continuation idiom: a stage that waits on an event
+    of uncertain state (a propose result, a join, another chain's done)
+    must mirror the process trampoline's already-processed short-circuit
+    — if the event has been dispatched, the continuation runs inline at
+    the current cascade position instead of being parked forever.
+    """
+    callbacks = ev.callbacks
+    if callbacks is None:
+        callback(ev)
+    else:
+        callbacks.append(callback)
 
 
 class SimulationError(Exception):
@@ -450,6 +468,70 @@ class AnyOf(_Condition):
             self.succeed(event._value)
         else:
             self.fail(event._value)
+
+
+class Countdown(Event):
+    """A join event that fires after ``n`` branch completions.
+
+    The fan-out/quorum primitive behind flat 2PC chains (prepare fan-out
+    -> countdown of votes -> commit/abort fan-out) and any other
+    known-size fan-out a chain object must join without parking a
+    process on :class:`AllOf`.  Branches report in either by calling
+    :meth:`hit` directly from their completion callback, or by
+    subscribing the countdown to the branch's event with :meth:`watch`.
+
+    Dispatch equivalence with ``AllOf``: ``watch`` parks exactly one
+    callback per branch event, and the n-th completion triggers the
+    countdown through the scheduler (:meth:`Event.succeed`) — the
+    identical cascade position ``AllOf``'s last-component succeed
+    occupied — so swapping one for the other cannot reorder a seeded
+    run.  The value is the list of branch values in *completion* order
+    (AllOf reports construction order; every current caller folds the
+    list with an order-insensitive reduction).
+
+    Fault contract: a watched event that fails fails the countdown at
+    once (fail-fast, like AllOf), and every hit/miss after the
+    countdown has triggered is ignored.  That last clause is the guard
+    against the double-completion race this repo's chains must survive:
+    two branches dying at the same simulated instant — or a straggler
+    completing after the join already aborted — must not re-trigger a
+    settled event.
+    """
+
+    __slots__ = ("remaining", "values")
+
+    def __init__(self, env: "Environment", n: int):
+        super().__init__(env)
+        self.remaining = n
+        self.values: list[Any] = []
+        if n <= 0:
+            self.succeed(self.values)
+
+    def hit(self, value: Any = None) -> None:
+        """Record one branch completion; fires the join on the n-th."""
+        if self._triggered:
+            return
+        self.values.append(value)
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self.succeed(self.values)
+
+    def miss(self, exception: BaseException) -> None:
+        """Fail the join (a branch died); ignored once triggered."""
+        if self._triggered:
+            return
+        self.fail(exception)
+
+    def _branch_done(self, ev: Event) -> None:
+        if ev._ok:
+            self.hit(ev._value)
+        else:
+            self.miss(ev._value)
+
+    def watch(self, ev: Event) -> "Countdown":
+        """Subscribe this countdown to a branch completion event."""
+        subscribe(ev, self._branch_done)
+        return self
 
 
 class WakeableQueue:

@@ -24,7 +24,7 @@ from ..sharding.bft2pc import BftCoordinator
 from ..sharding.formation import ReconfigurationSchedule, ShardFormation
 from ..sharding.partitioner import HashPartitioner
 from ..sharding.twopc import Vote
-from ..sim.kernel import Environment, Event
+from ..sim.kernel import Environment, Event, subscribe
 from ..sim.resources import Resource
 from ..txn.state import VersionedStore
 from ..txn.transaction import AbortReason, OpType, Transaction
@@ -33,30 +33,125 @@ from .base import SystemConfig, TransactionalSystem
 __all__ = ["AhlSystem"]
 
 
+class _ShardExec:
+    """One serial slot of a shard's PBFT execute pipeline, as a flat chain.
+
+    Pipeline grant -> reconfiguration-pause gate (checked while the slot
+    is held, so an epoch boundary really does stop the shard) -> the
+    calibrated execute/commit cost -> release.  ``done`` resolves inline
+    (:meth:`Event._resolve`) at the release position — the identical
+    cascade slot the retained ``shard_exec_gen`` resumed its caller at.
+    """
+
+    __slots__ = ("system", "shard", "cost", "value", "done", "_req")
+
+    def __init__(self, system: "AhlSystem", shard: int, cost: float,
+                 value=None):
+        self.system = system
+        self.shard = shard
+        self.cost = cost
+        self.value = value
+        self.done = Event(system.env)
+        self._req = None
+
+    def start(self, scheduled: bool = False) -> Event:
+        if scheduled:
+            self.system.env._schedule_call(self._begin, None)
+        else:
+            self._begin(None)
+        return self.done
+
+    def _begin(self, _arg) -> None:
+        req = self._req = self.system.shard_pipelines[self.shard].request()
+        subscribe(req, self._granted)
+
+    def _granted(self, _ev: Event) -> None:
+        subscribe(self.system._wait_if_paused(), self._unpaused)
+
+    def _unpaused(self, _ev: Event) -> None:
+        timer = self.system.env.timeout(self.cost)
+        timer.callbacks.append(self._served)
+
+    def _served(self, _ev: Event) -> None:
+        self.system.shard_pipelines[self.shard].release(self._req)
+        self.done._resolve(self.value)
+
+
+class _AhlTxn:
+    """One AHL transaction as a flat chain.
+
+    Single-shard transactions take one serial slot of their shard's
+    execute pipeline; cross-shard transactions run BFT-2PC through the
+    reference committee (whose participant legs are :class:`_ShardExec`
+    chains — no Process per participant).
+    """
+
+    __slots__ = ("system", "txn", "done")
+
+    def __init__(self, system: "AhlSystem", txn: Transaction, done: Event):
+        self.system = system
+        self.txn = txn
+        self.done = done
+
+    def start(self) -> None:
+        self.system.env._schedule_call(self._begin, None)
+
+    def _begin(self, _arg) -> None:
+        system = self.system
+        txn = self.txn
+        txn.submitted_at = system.env.now
+        ev = system.client_node.nic_out.serve_event(
+            system.costs.net_send_overhead
+            + system.costs.transfer_time(256 + txn.payload_size))
+        ev.callbacks.append(self._sent)
+
+    def _sent(self, _ev: Event) -> None:
+        timer = self.system.env.timeout(self.system.costs.net_latency)
+        timer.callbacks.append(self._arrived)
+
+    def _arrived(self, _ev: Event) -> None:
+        system = self.system
+        txn = self.txn
+        shards = sorted({system.partitioner.shard_of(op.key)
+                         for op in txn.ops})
+        if len(shards) == 1:
+            subscribe(system.shard_exec_event(shards[0]), self._executed)
+            return
+        # Cross-shard: BFT-2PC through the reference committee.
+        system.cross_shard_txns += 1
+        participants = [_ShardParticipant(system, s) for s in shards]
+        ev = system.coordinator.run(txn.txn_id, participants,
+                                    {"txn": txn})
+        ev.callbacks.append(self._decided)
+
+    def _executed(self, _ev: Event) -> None:
+        self.system._apply(self.txn)
+        self.done.succeed(self.txn)
+
+    def _decided(self, ev: Event) -> None:
+        txn = self.txn
+        decision = ev._value
+        if decision.value != "commit":
+            txn.mark_aborted(AbortReason.COORDINATOR_ABORT)
+        else:
+            self.system._apply(txn)
+        self.done.succeed(txn)
+
+
 class _ShardParticipant:
-    """Adapter: one shard acting as a 2PC participant."""
+    """Adapter: one shard acting as a 2PC participant (flat chains)."""
 
     def __init__(self, system: "AhlSystem", shard: int):
         self.system = system
         self.shard = shard
 
     def prepare(self, txn_id: int, payload: dict) -> Event:
-        ev = self.system.env.event()
-
-        def go():
-            yield from self.system.shard_exec(self.shard, payload["txn"])
-            ev.succeed(Vote.YES)
-        self.system.env.process(go(), name=f"ahl-prep:{self.shard}")
-        return ev
+        return self.system.shard_exec_event(self.shard, value=Vote.YES,
+                                            scheduled=True)
 
     def finalize(self, txn_id: int, decision) -> Event:
-        ev = self.system.env.event()
-
-        def go():
-            yield from self.system.shard_exec(self.shard, None, commit=True)
-            ev.succeed(True)
-        self.system.env.process(go(), name=f"ahl-fin:{self.shard}")
-        return ev
+        return self.system.shard_exec_event(self.shard, commit=True,
+                                            value=True, scheduled=True)
 
 
 class AhlSystem(TransactionalSystem):
@@ -131,14 +226,20 @@ class AhlSystem(TransactionalSystem):
 
     # -- shard execution ------------------------------------------------------------
 
-    def shard_exec(self, shard: int, txn: Optional[Transaction],
-                   commit: bool = False):
-        """One serial slot of the shard's PBFT execute pipeline.
+    def shard_exec_event(self, shard: int, commit: bool = False,
+                         value=None, scheduled: bool = False) -> Event:
+        """One serial slot of the shard's PBFT execute pipeline (flat).
 
         The reconfiguration pause stalls the *server* (checked while the
         slot is held), so an epoch boundary really does stop the shard —
         queued work cannot ride through it.
         """
+        cost = self._txn_cost * (0.3 if commit else 1.0)
+        return _ShardExec(self, shard, cost, value).start(scheduled)
+
+    def shard_exec_gen(self, shard: int, txn: Optional[Transaction],
+                       commit: bool = False):
+        """Generator form of :meth:`shard_exec_event` (differential tests)."""
         cost = self._txn_cost * (0.3 if commit else 1.0)
         pipeline = self.shard_pipelines[shard]
         req = pipeline.request()
@@ -153,10 +254,16 @@ class AhlSystem(TransactionalSystem):
 
     def submit(self, txn: Transaction) -> Event:
         done = self.env.event()
-        self.spawn(self._do_txn(txn, done), name="ahl-txn")
+        _AhlTxn(self, txn, done).start()
         return done
 
-    def _do_txn(self, txn: Transaction, done: Event):
+    def submit_gen(self, txn: Transaction) -> Event:
+        """Generator-form transaction path, kept for differential testing."""
+        done = self.env.event()
+        self.spawn(self._do_txn_gen(txn, done), name="ahl-txn")
+        return done
+
+    def _do_txn_gen(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
         yield self.client_node.nic_out.serve_event(
             self.costs.net_send_overhead
@@ -165,14 +272,17 @@ class AhlSystem(TransactionalSystem):
         shards = sorted({self.partitioner.shard_of(op.key)
                          for op in txn.ops})
         if len(shards) == 1:
-            yield from self.shard_exec(shards[0], txn)
+            yield from self.shard_exec_gen(shards[0], txn)
             self._apply(txn)
         else:
-            # Cross-shard: BFT-2PC through the reference committee.
+            # Cross-shard: BFT-2PC through the reference committee (the
+            # generator-form coordinator, so the differential test really
+            # compares the chain 2PC against the coroutine 2PC; the
+            # participant legs are _ShardExec chains on both paths).
             self.cross_shard_txns += 1
             participants = [_ShardParticipant(self, s) for s in shards]
-            decision = yield self.coordinator.run(txn.txn_id, participants,
-                                                  {"txn": txn})
+            decision = yield self.coordinator.run_gen(txn.txn_id, participants,
+                                                      {"txn": txn})
             if decision.value != "commit":
                 txn.mark_aborted(AbortReason.COORDINATOR_ABORT)
                 done.succeed(txn)

@@ -22,7 +22,7 @@ from typing import Optional
 
 from ..concurrency.serial import SerialExecutor
 from ..consensus.raft import RaftConfig, RaftGroup
-from ..sim.kernel import Environment, Event
+from ..sim.kernel import Environment, Event, subscribe
 from ..sim.resources import Resource
 from ..storage.btree import BPlusTree
 from ..txn.state import VersionedStore
@@ -30,6 +30,133 @@ from ..txn.transaction import Transaction
 from .base import SystemConfig, TransactionalSystem
 
 __all__ = ["EtcdSystem"]
+
+
+class _ApplyLoop:
+    """The serial state-machine apply loop, as a perpetual flat chain.
+
+    Parks one callback on ``applied.get()`` and one on the disk-serve
+    per committed entry — the identical wait sequence the old coroutine
+    loop issued, minus two ``Process._resume`` walks per transaction.
+    """
+
+    __slots__ = ("system", "node", "applied", "txn")
+
+    def __init__(self, system: "EtcdSystem"):
+        self.system = system
+        self.node = system.servers[0]
+        leader_name = self.node.name
+        self.applied = system.raft.replicas[leader_name].applied
+        self.txn = None
+
+    def start(self) -> None:
+        self.system.env._schedule_call(self._next, None)
+
+    def _next(self, _arg) -> None:
+        subscribe(self.applied.get(), self._got)
+
+    def _got(self, ev: Event) -> None:
+        _index, self.txn = ev._value
+        system = self.system
+        serve = self.node.disk.serve_event(
+            system.costs.raft_apply + system.costs.store_put)
+        serve.callbacks.append(self._applied)
+
+    def _applied(self, _ev: Event) -> None:
+        system = self.system
+        txn = self.txn
+        system._version += 1
+        # Single consensus order == serial execution: run the
+        # transaction (including any logic) against the state machine.
+        system.executor.execute(txn, system._version)
+        for key, value in txn.write_set.items():
+            system.btree.put(key.encode(), value)
+        waiter = system._waiters.pop(txn.txn_id, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(txn)
+        self._next(None)
+
+
+class _Update:
+    """One client update through the Raft pipeline, as a flat chain.
+
+    Stage-for-stage mirror of the retained ``_do_update_gen`` coroutine
+    — client NIC egress, propagation, leader request CPU, Raft commit,
+    state-machine apply, response NIC egress, propagation — with one
+    parked callback per wait instead of a generator frame resumed
+    through the trampoline.  Every completion lands at the identical
+    dispatch position the coroutine's resume occupied (``done`` is
+    succeeded through the scheduler exactly where the generator called
+    it), so seeded runs are byte-identical across the two forms.
+    """
+
+    __slots__ = ("system", "txn", "done", "leader", "size")
+
+    def __init__(self, system: "EtcdSystem", txn: Transaction, done: Event):
+        self.system = system
+        self.txn = txn
+        self.done = done
+        self.leader = None
+        self.size = 0
+
+    def start(self) -> None:
+        # Occupies the same scheduled slot a Process bootstrap would.
+        self.system.env._schedule_call(self._begin, None)
+
+    def _abort(self) -> None:
+        txn = self.txn
+        txn.mark_aborted(txn.abort_reason)
+        self.done.succeed(txn)
+
+    def _begin(self, _arg) -> None:
+        system = self.system
+        txn = self.txn
+        txn.submitted_at = system.env.now
+        leader = system.raft.leader
+        if leader is None:
+            self._abort()
+            return
+        self.leader = leader
+        self.size = 64 + txn.payload_size
+        ev = system.client_node.nic_out.serve_event(
+            system.costs.net_send_overhead
+            + system.costs.transfer_time(self.size))
+        ev.callbacks.append(self._sent)
+
+    def _sent(self, _ev: Event) -> None:
+        timer = self.system.env.timeout(self.system.costs.net_latency)
+        timer.callbacks.append(self._arrived)
+
+    def _arrived(self, _ev: Event) -> None:
+        ev = self.leader.node.compute(self.system.costs.etcd_request_cpu)
+        ev.callbacks.append(self._decoded)
+
+    def _decoded(self, _ev: Event) -> None:
+        commit_ev = self.leader.propose(self.txn, size=self.size)
+        subscribe(commit_ev, self._committed)
+
+    def _committed(self, ev: Event) -> None:
+        if not ev._ok:
+            self._abort()
+            return
+        system = self.system
+        apply_ev = system.env.event()
+        system._waiters[self.txn.txn_id] = apply_ev
+        apply_ev.callbacks.append(self._applied)
+
+    def _applied(self, _ev: Event) -> None:
+        system = self.system
+        ev = self.leader.node.nic_out.serve_event(
+            system.costs.net_send_overhead + system.costs.transfer_time(128))
+        ev.callbacks.append(self._responded)
+
+    def _responded(self, _ev: Event) -> None:
+        timer = self.system.env.timeout(self.system.costs.net_latency)
+        timer.callbacks.append(self._finish)
+
+    def _finish(self, _ev: Event) -> None:
+        # status (committed / logic-aborted) was set by the apply loop
+        self.done.succeed(self.txn)
 
 
 class EtcdSystem(TransactionalSystem):
@@ -51,8 +178,8 @@ class EtcdSystem(TransactionalSystem):
         # Serialized apply loop (etcd applies committed entries in order on
         # a single goroutine) and serialized read path per node.
         self._read_paths = {n.name: Resource(env, 1) for n in self.servers}
-        self.spawn(self._apply_loop(), name="etcd-apply")
         self._waiters: dict[int, Event] = {}
+        _ApplyLoop(self).start()
 
     # -- data loading -------------------------------------------------------
 
@@ -66,10 +193,16 @@ class EtcdSystem(TransactionalSystem):
 
     def submit(self, txn: Transaction) -> Event:
         done = self.env.event()
-        self.spawn(self._do_update(txn, done), name="etcd-update")
+        _Update(self, txn, done).start()
         return done
 
-    def _do_update(self, txn: Transaction, done: Event):
+    def submit_gen(self, txn: Transaction) -> Event:
+        """Generator-form update path, kept for differential testing."""
+        done = self.env.event()
+        self.spawn(self._do_update_gen(txn, done), name="etcd-update")
+        return done
+
+    def _do_update_gen(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
         leader = self.raft.leader
         if leader is None:
@@ -99,25 +232,6 @@ class EtcdSystem(TransactionalSystem):
         yield self.env.timeout(self.costs.net_latency)
         # status (committed / logic-aborted) was set by the apply loop
         done.succeed(txn)
-
-    def _apply_loop(self):
-        """Serial state-machine application on the leader replica."""
-        leader_name = self.servers[0].name
-        applied = self.raft.replicas[leader_name].applied
-        node = self.servers[0]
-        while True:
-            _index, txn = yield applied.get()
-            yield node.disk.serve_event(
-                self.costs.raft_apply + self.costs.store_put)
-            self._version += 1
-            # Single consensus order == serial execution: run the
-            # transaction (including any logic) against the state machine.
-            self.executor.execute(txn, self._version)
-            for key, value in txn.write_set.items():
-                self.btree.put(key.encode(), value)
-            waiter = self._waiters.pop(txn.txn_id, None)
-            if waiter is not None and not waiter.triggered:
-                waiter.succeed(txn)
 
     # -- reads ---------------------------------------------------------------------
 

@@ -25,7 +25,7 @@ from ..consensus.sharedlog import OrderingService, SharedLogConfig
 from ..consensus.tendermint import TendermintConfig, TendermintGroup
 from ..core.taxonomy import (ConcurrencyModel, IndexKind, SystemProfile,
                              profile as lookup_profile)
-from ..sim.kernel import Environment, Event
+from ..sim.kernel import Environment, Event, subscribe
 from ..sim.resources import Resource, Store
 from ..txn.ledger import Ledger
 from ..txn.state import VersionedStore
@@ -33,6 +33,77 @@ from ..txn.transaction import AbortReason, OpType, Transaction, TxnStatus
 from .base import SystemConfig, TransactionalSystem
 
 __all__ = ["HybridSystem", "HYBRID_SPECS", "build_hybrid"]
+
+
+class _Submission:
+    """Client submission into the hybrid's ordering backend, flat chain.
+
+    Client NIC egress -> propagation -> entry-node CPU -> (optional
+    speculative OCC simulation) -> backend ordering -> hand-off to the
+    serial commit loop.  Stage-for-stage mirror of the retained
+    ``_do_submit_gen`` coroutine; ``done`` travels into the commit
+    stream exactly as before, so the commit loop's succeed position is
+    untouched.
+    """
+
+    __slots__ = ("system", "txn", "done", "size")
+
+    def __init__(self, system: "HybridSystem", txn: Transaction, done: Event):
+        self.system = system
+        self.txn = txn
+        self.done = done
+        self.size = 0
+
+    def start(self) -> None:
+        self.system.env._schedule_call(self._begin, None)
+
+    def _begin(self, _arg) -> None:
+        system = self.system
+        txn = self.txn
+        txn.submitted_at = system.env.now
+        self.size = 256 + txn.payload_size
+        ev = system.client_node.nic_out.serve_event(
+            system.costs.net_send_overhead
+            + system.costs.transfer_time(self.size))
+        ev.callbacks.append(self._sent)
+
+    def _sent(self, _ev: Event) -> None:
+        timer = self.system.env.timeout(self.system.costs.net_latency)
+        timer.callbacks.append(self._arrived)
+
+    def _arrived(self, _ev: Event) -> None:
+        system = self.system
+        entry = system._pick_round_robin(system.servers)
+        ev = entry.compute(system.costs.store_get)
+        ev.callbacks.append(self._entered)
+
+    def _entered(self, _ev: Event) -> None:
+        system = self.system
+        txn = self.txn
+        if system.profile.concurrency is \
+                ConcurrencyModel.CONCURRENT_EXECUTION_SERIAL_COMMIT:
+            # speculative execution before ordering (Fabric/Veritas style)
+            system.simulator.simulate(txn)
+            if txn.abort_reason is AbortReason.LOGIC:
+                self.done.succeed(txn)
+                return
+        try:
+            ordered = system._proposer(txn, self.size)
+        except Exception:
+            self._order_failed()
+            return
+        subscribe(ordered, self._ordered)
+
+    def _ordered(self, ev: Event) -> None:
+        if not ev._ok:
+            self._order_failed()
+            return
+        self.system._commit_stream.put((self.txn, self.done))
+
+    def _order_failed(self) -> None:
+        txn = self.txn
+        txn.mark_aborted(AbortReason.COORDINATOR_ABORT)
+        self.done.succeed(txn)
 
 
 #: Backend + commit-path calibration per hybrid (anchored to the numbers
@@ -165,10 +236,16 @@ class HybridSystem(TransactionalSystem):
 
     def submit(self, txn: Transaction) -> Event:
         done = self.env.event()
-        self.spawn(self._do_submit(txn, done), name=f"{self.name}-submit")
+        _Submission(self, txn, done).start()
         return done
 
-    def _do_submit(self, txn: Transaction, done: Event):
+    def submit_gen(self, txn: Transaction) -> Event:
+        """Generator-form submission path, kept for differential testing."""
+        done = self.env.event()
+        self.spawn(self._do_submit_gen(txn, done), name=f"{self.name}-submit")
+        return done
+
+    def _do_submit_gen(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
         size = 256 + txn.payload_size
         yield self.client_node.nic_out.serve_event(

@@ -5,6 +5,15 @@ shards of 3 nodes, each shard a Paxos group; read-write transactions take
 strict two-phase locks and commit through Paxos, with cross-shard
 transactions coordinated by trusted 2PC plus a commit-wait.
 
+The cross-shard commit is the real 2PC shape: the coordinator fans the
+prepare out to every participant shard **in parallel** (each a Paxos
+round at that shard), joins the votes with a countdown, replicates the
+commit decision at the coordinator shard, then fans the commit record
+out to the other participants — again in parallel.  All of it runs as
+flat callback chains (:class:`_PaxosWrite` per consensus round, a
+:class:`repro.sim.kernel.Countdown` per fan-out), no Process per
+transaction or per participant.
+
 The performance-relevant contrast with TiDB (Section 5.5): conflicting
 transactions *contend for locks* under pessimistic concurrency control —
 under a skewed workload they queue on hot keys for the full lock span —
@@ -18,13 +27,213 @@ from typing import Optional
 
 from ..concurrency.twopl import LockDenied, LockManager, LockMode
 from ..sharding.partitioner import HashPartitioner
-from ..sim.kernel import Environment, Event
+from ..sim.kernel import Countdown, Environment, Event, subscribe
 from ..sim.resources import Resource
 from ..txn.state import VersionedStore
 from ..txn.transaction import AbortReason, OpType, Transaction
 from .base import SystemConfig, TransactionalSystem
 
 __all__ = ["SpannerSystem"]
+
+
+class _PaxosWrite:
+    """One modelled Paxos consensus round at a shard, as a flat chain.
+
+    Serialized log-pipeline slot at the shard leader -> NIC egress for
+    the replication fan-out -> one LAN round trip.  ``start`` begins
+    inline (no scheduled slot) at the caller's cascade position — the
+    same place the old ``yield from _paxos_write`` entered the helper —
+    and ``done`` is succeeded through the scheduler where the helper's
+    final timeout resumed its caller.
+    """
+
+    __slots__ = ("system", "shard", "size", "done")
+
+    def __init__(self, system: "SpannerSystem", shard: int, size: int):
+        self.system = system
+        self.shard = shard
+        self.size = size
+        self.done = Event(system.env)
+
+    def start(self) -> Event:
+        system = self.system
+        leader = system.shard_leaders[self.shard]
+        ev = system.log_threads[leader.name].serve_event(
+            system.costs.raft_propose + system.costs.raft_apply
+            + system.costs.store_put)
+        ev.callbacks.append(self._logged)
+        return self.done
+
+    def _logged(self, _ev: Event) -> None:
+        system = self.system
+        leader = system.shard_leaders[self.shard]
+        ev = leader.nic_out.serve_event(
+            2 * (system.costs.net_send_overhead
+                 + system.costs.transfer_time(self.size)))
+        ev.callbacks.append(self._sent)
+
+    def _sent(self, _ev: Event) -> None:
+        timer = self.system.env.timeout(2 * self.system.costs.net_latency)
+        timer.callbacks.append(self._round_tripped)
+
+    def _round_tripped(self, _ev: Event) -> None:
+        self.done.succeed(self.shard)
+
+
+class _Txn:
+    """One strict-2PL read-write transaction as a flat chain.
+
+    Mirror of the retained ``_do_txn_gen``/``_locked_attempt``
+    coroutines: lock acquisition in key order (reads S, writes X),
+    reads + logic, then the commit protocol — a single Paxos round for
+    one-shard transactions, or the parallel 2PC countdown chain
+    (prepare fan-out -> vote countdown -> decision round -> commit
+    fan-out) across shards — followed by the commit wait with locks
+    still held.  Locks are released at every exit exactly once.
+    """
+
+    __slots__ = ("system", "txn", "done", "held", "sorted_ops", "reads",
+                 "write_set", "shards", "_idx")
+
+    def __init__(self, system: "SpannerSystem", txn: Transaction, done: Event):
+        self.system = system
+        self.txn = txn
+        self.done = done
+        self.held: list[str] = []
+        self.sorted_ops: list = []
+        self.reads: dict[str, bytes] = {}
+        self.write_set: dict[str, bytes] = {}
+        self.shards: list[int] = []
+        self._idx = 0
+
+    def start(self) -> None:
+        self.system.env._schedule_call(self._begin, None)
+
+    def _begin(self, _arg) -> None:
+        system = self.system
+        txn = self.txn
+        txn.submitted_at = system.env.now
+        ev = system.client_node.nic_out.serve_event(
+            system.costs.net_send_overhead
+            + system.costs.transfer_time(128 + txn.payload_size))
+        ev.callbacks.append(self._sent)
+
+    def _sent(self, _ev: Event) -> None:
+        timer = self.system.env.timeout(self.system.costs.net_latency)
+        timer.callbacks.append(self._arrived)
+
+    def _arrived(self, _ev: Event) -> None:
+        system = self.system
+        coordinator_shard = system._shard_of(self.txn.ops[0].key)
+        coordinator = system.shard_leaders[coordinator_shard]
+        ev = coordinator.compute(system.costs.spanner_request_cpu)
+        ev.callbacks.append(self._coord_ready)
+
+    # -- strict 2PL lock acquisition ---------------------------------------
+
+    def _coord_ready(self, _ev: Event) -> None:
+        self.sorted_ops = sorted(self.txn.ops, key=lambda o: o.key)
+        self._idx = 0
+        self._next_lock()
+
+    def _next_lock(self) -> None:
+        if self._idx >= len(self.sorted_ops):
+            self._read_and_execute()
+            return
+        system = self.system
+        op = self.sorted_ops[self._idx]
+        mode = (LockMode.EXCLUSIVE if op.is_write else LockMode.SHARED)
+        req = system.locks.acquire(self.txn.txn_id, op.key, mode)
+        subscribe(req, self._locked)
+
+    def _locked(self, ev: Event) -> None:
+        if not ev._ok:               # LockDenied (wait-die style policies)
+            self.system.lock_aborts += 1
+            self.txn.mark_aborted(AbortReason.LOCK_TIMEOUT)
+            self._finish(False)
+            return
+        self.held.append(self.sorted_ops[self._idx].key)
+        self._idx += 1
+        self._next_lock()
+
+    # -- execution ---------------------------------------------------------
+
+    def _read_and_execute(self) -> None:
+        system = self.system
+        txn = self.txn
+        for op in txn.ops:
+            if op.op_type in (OpType.READ, OpType.UPDATE):
+                value, version = system.state.get(op.key)
+                txn.read_set[op.key] = version
+                self.reads[op.key] = value if value is not None else b""
+        write_set = self.write_set
+        if txn.logic is not None:
+            derived = txn.logic(self.reads)
+            if derived is None:
+                txn.mark_aborted(AbortReason.LOGIC)
+                self._finish(False)
+                return
+            write_set.update(derived)
+        for op in txn.ops:
+            if op.is_write:
+                write_set.setdefault(op.key, op.value)
+        txn.write_set = write_set
+        if not write_set:
+            txn.mark_committed()
+            self._finish(True)
+            return
+        self.shards = sorted({system._shard_of(k) for k in write_set})
+        if len(self.shards) == 1:
+            ev = system._paxos_write_event(self.shards[0],
+                                           128 + txn.payload_size)
+            ev.callbacks.append(self._commit_replicated)
+        else:
+            # 2PC phase 1: prepare Paxos rounds at every participant
+            # shard in parallel; the countdown joins the votes.
+            join = system._paxos_fanout(self.shards, 96)
+            join.callbacks.append(self._prepared)
+
+    def _prepared(self, _ev: Event) -> None:
+        # Unanimous prepare: replicate the commit decision at the
+        # coordinator shard (carries the transaction payload).
+        system = self.system
+        ev = system._paxos_write_event(self.shards[0],
+                                       128 + self.txn.payload_size)
+        ev.callbacks.append(self._decided)
+
+    def _decided(self, _ev: Event) -> None:
+        # 2PC phase 2: fan the commit record out to the other
+        # participants, again in parallel.
+        join = self.system._paxos_fanout(self.shards[1:], 96)
+        subscribe(join, self._commit_replicated)
+
+    def _commit_replicated(self, _ev: Event) -> None:
+        # Commit wait (TrueTime uncertainty) plus the lock span through
+        # result delivery and cleanup — all with locks still held, which
+        # is what queues conflicting transactions behind a hot key.
+        system = self.system
+        timer = system.env.timeout(system.costs.spanner_commit_wait
+                                   + system.costs.spanner_lock_hold)
+        timer.callbacks.append(self._commit_waited)
+
+    def _commit_waited(self, _ev: Event) -> None:
+        system = self.system
+        txn = self.txn
+        system._version += 1
+        system.state.apply_write_set(self.write_set, system._version)
+        txn.commit_version = system._version
+        txn.mark_committed()
+        self._finish(True)
+
+    def _finish(self, committed: bool) -> None:
+        system = self.system
+        txn = self.txn
+        held, self.held = self.held, []
+        for key in held:
+            system.locks.release(txn.txn_id, key)
+        if not committed and txn.abort_reason is None:
+            txn.mark_aborted(AbortReason.LOCK_TIMEOUT)
+        self.done.succeed(txn)
 
 
 class SpannerSystem(TransactionalSystem):
@@ -63,25 +272,31 @@ class SpannerSystem(TransactionalSystem):
     def _shard_of(self, key: str) -> int:
         return self.partitioner.shard_of(key)
 
-    def _paxos_write(self, shard: int, size: int):
-        """One Paxos consensus round at a shard (modelled)."""
-        leader = self.shard_leaders[shard]
-        yield self.log_threads[leader.name].serve_event(
-            self.costs.raft_propose + self.costs.raft_apply
-            + self.costs.store_put)
-        yield leader.nic_out.serve_event(
-            2 * (self.costs.net_send_overhead
-                 + self.costs.transfer_time(size)))
-        yield self.env.timeout(2 * self.costs.net_latency)  # round trip
+    def _paxos_write_event(self, shard: int, size: int) -> Event:
+        """One Paxos consensus round at a shard (flat chain)."""
+        return _PaxosWrite(self, shard, size).start()
+
+    def _paxos_fanout(self, shards: list[int], size: int) -> Countdown:
+        """Parallel Paxos rounds at ``shards``, joined by a countdown."""
+        join = Countdown(self.env, len(shards))
+        for shard in shards:
+            join.watch(_PaxosWrite(self, shard, size).start())
+        return join
 
     # -- transactions -------------------------------------------------------------
 
     def submit(self, txn: Transaction) -> Event:
         done = self.env.event()
-        self.spawn(self._do_txn(txn, done), name="spanner-txn")
+        _Txn(self, txn, done).start()
         return done
 
-    def _do_txn(self, txn: Transaction, done: Event):
+    def submit_gen(self, txn: Transaction) -> Event:
+        """Generator-form transaction path, kept for differential testing."""
+        done = self.env.event()
+        self.spawn(self._do_txn_gen(txn, done), name="spanner-txn")
+        return done
+
+    def _do_txn_gen(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
         yield self.client_node.nic_out.serve_event(
             self.costs.net_send_overhead
@@ -134,14 +349,13 @@ class SpannerSystem(TransactionalSystem):
             return True
         shards = sorted({self._shard_of(k) for k in write_set})
         if len(shards) == 1:
-            yield from self._paxos_write(shards[0],
-                                         128 + txn.payload_size)
+            yield self._paxos_write_event(shards[0], 128 + txn.payload_size)
         else:
-            # trusted 2PC: prepare Paxos write at every shard, then commit.
-            for shard in shards:
-                yield from self._paxos_write(shard, 96)
-            yield from self._paxos_write(shards[0],
-                                         128 + txn.payload_size)
+            # 2PC: parallel prepare rounds, the decision round at the
+            # coordinator shard, then the parallel commit fan-out.
+            yield self._paxos_fanout(shards, 96)
+            yield self._paxos_write_event(shards[0], 128 + txn.payload_size)
+            yield self._paxos_fanout(shards[1:], 96)
         # Commit wait (TrueTime uncertainty) plus the lock span through
         # result delivery and cleanup — all with locks still held, which
         # is what queues conflicting transactions behind a hot key.

@@ -19,7 +19,7 @@ from typing import Optional
 
 from ..consensus.raft import RaftConfig, RaftGroup
 from ..sharding.partitioner import HashPartitioner
-from ..sim.kernel import Environment, Event
+from ..sim.kernel import Environment, Event, subscribe
 from ..sim.resources import Resource
 from ..storage.lsm import LSMTree
 from ..txn.state import VersionedStore
@@ -27,6 +27,135 @@ from ..txn.transaction import Transaction
 from .base import SystemConfig, TransactionalSystem
 
 __all__ = ["TikvCluster", "TikvSystem"]
+
+
+class _ApplyLoop:
+    """One node's serialized raftstore/apply thread for one group, as a
+    perpetual flat chain.
+
+    Full replication runs ``groups x nodes`` of these (every node pays
+    apply work for every group), so the two ``Process._resume`` walks
+    per applied entry the coroutine loop cost were the dominant resume
+    source on DB-side BENCH points.  Only the leader's instance
+    publishes state and resolves write waiters; followers just pay the
+    serve cost — exactly the retained coroutine's behaviour.
+    """
+
+    __slots__ = ("cluster", "group_id", "is_leader", "applied", "thread",
+                 "record", "index")
+
+    def __init__(self, cluster: "TikvCluster", group_id: int,
+                 node_name: str, is_leader: bool):
+        self.cluster = cluster
+        self.group_id = group_id
+        self.is_leader = is_leader
+        self.applied = cluster.groups[group_id].replicas[node_name].applied
+        self.thread = cluster.store_threads[node_name]
+        self.record = None
+        self.index = 0
+
+    def start(self) -> None:
+        self.cluster.env._schedule_call(self._next, None)
+
+    def _next(self, _arg) -> None:
+        subscribe(self.applied.get(), self._got)
+
+    def _got(self, ev: Event) -> None:
+        self.index, self.record = ev._value
+        costs = self.cluster.costs
+        serve = self.thread.serve_event(costs.tikv_apply + costs.store_put)
+        serve.callbacks.append(self._applied)
+
+    def _applied(self, _ev: Event) -> None:
+        if self.is_leader:
+            cluster = self.cluster
+            record = self.record
+            cluster._version += 1
+            cluster.state.put(record["key"], record["value"],
+                              cluster._version)
+            waiter = cluster._waiters.pop((self.group_id, self.index), None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(self.index)
+        self._next(None)
+
+
+class _KvWrite:
+    """One replicated write through a region group, as a flat chain.
+
+    Mirrors the retained ``_do_write`` coroutine stage for stage:
+    scheduler CPU on the leader -> Raft commit -> leader apply waiter ->
+    done.  This is the participant leg of TiDB's percolator 2PC (one per
+    prewrite key, one per commit), so killing the Process-per-write here
+    is what removes the coroutine tax from the DB-side fan-outs.
+    """
+
+    __slots__ = ("cluster", "key", "value", "meta", "done",
+                 "group_id", "index")
+
+    def __init__(self, cluster: "TikvCluster", key: str, value: bytes,
+                 meta: Optional[dict], done: Event):
+        self.cluster = cluster
+        self.key = key
+        self.value = value
+        self.meta = meta
+        self.done = done
+        self.group_id = 0
+        self.index = 0
+
+    def start(self) -> None:
+        self.cluster.env._schedule_call(self._begin, None)
+
+    def _begin(self, _arg) -> None:
+        cluster = self.cluster
+        self.group_id = cluster.leader_of(self.key)
+        node = cluster.nodes[self.group_id]
+        ev = node.compute(cluster.costs.tikv_request_cpu)
+        ev.callbacks.append(self._scheduled)
+
+    def _scheduled(self, _ev: Event) -> None:
+        cluster = self.cluster
+        record = {"key": self.key, "value": self.value,
+                  "meta": self.meta or {}}
+        ev = cluster.groups[self.group_id].propose(
+            record, size=96 + len(self.key) + len(self.value))
+        subscribe(ev, self._proposed)
+
+    def _proposed(self, ev: Event) -> None:
+        if not ev._ok:
+            self.done.fail(ev._value)
+            return
+        self.index, _item = ev._value
+        waiter = self.cluster.env.event()
+        self.cluster._waiters[(self.group_id, self.index)] = waiter
+        waiter.callbacks.append(self._applied)
+
+    def _applied(self, _ev: Event) -> None:
+        self.done.succeed((self.group_id, self.index))
+
+
+class _KvRead:
+    """Leaseholder point get at the region leader, as a flat chain."""
+
+    __slots__ = ("cluster", "key", "done")
+
+    def __init__(self, cluster: "TikvCluster", key: str, done: Event):
+        self.cluster = cluster
+        self.key = key
+        self.done = done
+
+    def start(self) -> None:
+        self.cluster.env._schedule_call(self._begin, None)
+
+    def _begin(self, _arg) -> None:
+        cluster = self.cluster
+        node = cluster.leader_node(self.key)
+        ev = cluster.read_paths[node.name].serve_event(
+            cluster.costs.tikv_read_cpu)
+        ev.callbacks.append(self._served)
+
+    def _served(self, _ev: Event) -> None:
+        value, version = self.cluster.state.get(self.key)
+        self.done.succeed((value, version))
 
 
 class TikvCluster:
@@ -67,10 +196,8 @@ class TikvCluster:
         # that more TiKV nodes mean more consensus/apply overhead per node).
         for i, group in enumerate(self.groups):
             for node in self.nodes:
-                self.env.process(
-                    self._apply_loop(i, node.name,
-                                     is_leader=(node is self.nodes[i])),
-                    name=f"{prefix}-apply:{i}:{node.name}")
+                _ApplyLoop(self, i, node.name,
+                           is_leader=(node is self.nodes[i])).start()
 
     # -- placement ---------------------------------------------------------------
 
@@ -88,6 +215,13 @@ class TikvCluster:
         The event fires once the write is committed *and applied* on the
         leader (TiKV acknowledges after apply).
         """
+        done = self.env.event()
+        _KvWrite(self, key, value, meta, done).start()
+        return done
+
+    def kv_write_gen(self, key: str, value: bytes,
+                     meta: Optional[dict] = None) -> Event:
+        """Generator-form write path, kept for differential testing."""
         done = self.env.event()
         self.env.process(self._do_write(key, value, meta, done),
                          name="tikv-write")
@@ -112,31 +246,16 @@ class TikvCluster:
         yield waiter
         done.succeed((group_id, index))
 
-    def _apply_loop(self, group_id: int, node_name: str, is_leader: bool):
-        """Serialized apply on this node's store thread.
-
-        Only the leader's apply publishes state and resolves waiters (the
-        logical state is shared because full replication keeps replicas
-        identical); followers still pay the apply cost.
-        """
-        applied = self.groups[group_id].replicas[node_name].applied
-        thread = self.store_threads[node_name]
-        while True:
-            index, record = yield applied.get()
-            yield thread.serve_event(self.costs.tikv_apply
-                                     + self.costs.store_put)
-            if not is_leader:
-                continue
-            self._version += 1
-            self.state.put(record["key"], record["value"], self._version)
-            waiter = self._waiters.pop((group_id, index), None)
-            if waiter is not None and not waiter.triggered:
-                waiter.succeed(index)
-
     # -- reads ------------------------------------------------------------------------
 
     def kv_read(self, key: str) -> Event:
         """Leaseholder point get at the region leader."""
+        done = self.env.event()
+        _KvRead(self, key, done).start()
+        return done
+
+    def kv_read_gen(self, key: str) -> Event:
+        """Generator-form read path, kept for differential testing."""
         done = self.env.event()
         self.env.process(self._do_read(key, done), name="tikv-read")
         return done
@@ -159,6 +278,80 @@ class TikvCluster:
         return self.lsm.total_bytes()
 
 
+class _Update:
+    """One client update transaction against the cluster, as a flat chain.
+
+    Client NIC egress -> propagation -> one replicated ``kv_write`` per
+    write op (sequential, as the retained coroutine issued them) ->
+    response NIC egress -> propagation -> done.
+    """
+
+    __slots__ = ("system", "txn", "done", "_idx")
+
+    def __init__(self, system: "TikvSystem", txn: Transaction, done: Event):
+        self.system = system
+        self.txn = txn
+        self.done = done
+        self._idx = 0
+
+    def start(self) -> None:
+        self.system.env._schedule_call(self._begin, None)
+
+    def _begin(self, _arg) -> None:
+        system = self.system
+        txn = self.txn
+        txn.submitted_at = system.env.now
+        size = 64 + txn.payload_size
+        ev = system.client_node.nic_out.serve_event(
+            system.costs.net_send_overhead + system.costs.transfer_time(size))
+        ev.callbacks.append(self._sent)
+
+    def _sent(self, _ev: Event) -> None:
+        timer = self.system.env.timeout(self.system.costs.net_latency)
+        timer.callbacks.append(self._arrived)
+
+    def _arrived(self, _ev: Event) -> None:
+        self._next_write()
+
+    def _next_write(self) -> None:
+        ops = self.txn.ops
+        idx = self._idx
+        while idx < len(ops) and not ops[idx].is_write:
+            idx += 1
+        if idx >= len(ops):
+            self._respond()
+            return
+        self._idx = idx
+        op = ops[idx]
+        subscribe(self.system.cluster.kv_write(op.key, op.value),
+                  self._wrote)
+
+    def _wrote(self, ev: Event) -> None:
+        txn = self.txn
+        if not ev._ok:
+            txn.mark_aborted(txn.abort_reason)
+            self.done.succeed(txn)
+            return
+        self._idx += 1
+        self._next_write()
+
+    def _respond(self) -> None:
+        system = self.system
+        node = system.cluster.leader_node(self.txn.ops[0].key)
+        ev = node.nic_out.serve_event(
+            system.costs.net_send_overhead + system.costs.transfer_time(128))
+        ev.callbacks.append(self._responded)
+
+    def _responded(self, _ev: Event) -> None:
+        timer = self.system.env.timeout(self.system.costs.net_latency)
+        timer.callbacks.append(self._finish)
+
+    def _finish(self, _ev: Event) -> None:
+        txn = self.txn
+        txn.mark_committed()
+        self.done.succeed(txn)
+
+
 class TikvSystem(TransactionalSystem):
     """Standalone TiKV benchmarked as in Fig. 4 ("TiKV" bars)."""
 
@@ -173,10 +366,16 @@ class TikvSystem(TransactionalSystem):
 
     def submit(self, txn: Transaction) -> Event:
         done = self.env.event()
-        self.spawn(self._do_update(txn, done), name="tikv-update")
+        _Update(self, txn, done).start()
         return done
 
-    def _do_update(self, txn: Transaction, done: Event):
+    def submit_gen(self, txn: Transaction) -> Event:
+        """Generator-form update path, kept for differential testing."""
+        done = self.env.event()
+        self.spawn(self._do_update_gen(txn, done), name="tikv-update")
+        return done
+
+    def _do_update_gen(self, txn: Transaction, done: Event):
         txn.submitted_at = self.env.now
         size = 64 + txn.payload_size
         yield self.client_node.nic_out.serve_event(
@@ -185,7 +384,7 @@ class TikvSystem(TransactionalSystem):
         for op in txn.ops:
             if op.is_write:
                 try:
-                    yield self.cluster.kv_write(op.key, op.value)
+                    yield self.cluster.kv_write_gen(op.key, op.value)
                 except Exception:
                     txn.mark_aborted(txn.abort_reason)
                     done.succeed(txn)

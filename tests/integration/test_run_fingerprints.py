@@ -1,12 +1,17 @@
 """Seeded end-to-end RunResult fingerprints across the systems layer.
 
 These are the PR-level equivalence gates for scheduler/consensus hot-path
-work (slab scheduler, wake-on-proposal): a seeded closed-loop measurement
-of each system must produce a byte-identical ``RunResult`` before and
-after any perf refactor.  Eight points cover every consensus substrate
-the systems layer threads proposals into: Raft (etcd, tikv, quorum),
-IBFT (quorum), a Raft-backed shared log (fabric, veritas), Percolator
-over multi-Raft (tidb), and Tendermint (bigchaindb).
+work (slab scheduler, wake-on-proposal, flat chain objects): a seeded
+closed-loop measurement of each system must produce a byte-identical
+``RunResult`` before and after any perf refactor.  The points cover every
+consensus substrate the systems layer threads proposals into: Raft (etcd,
+tikv, quorum), IBFT (quorum), a Raft-backed shared log (fabric, veritas),
+Percolator over multi-Raft (tidb), modelled Paxos + trusted 2PC
+(spanner), and Tendermint (bigchaindb).
+
+Every DB-side point (etcd, tikv, tidb, spanner) carries a **second seed**
+(the ``*-seed23`` entries): a dispatch-order regression that happens to
+cancel out at one seed cannot hide behind a single-seed coincidence.
 
 A mismatch means simulation *semantics* drifted — event ordering, batch
 boundaries, or timer behaviour — not just wall-clock performance.
@@ -19,16 +24,27 @@ import pytest
 from repro.bench.harness import SMOKE, run_point
 
 #: (system, run_point overrides) -> exact reprs of the seeded RunResult.
+#: Overrides may carry a ``seed`` key (default 11).
 FINGERPRINTS = {
     "etcd": (
         dict(),
         {"tps": "14886.968050392341", "measured": 300,
          "latency": "0.003593996233866099", "aborted": 0},
     ),
+    "etcd-seed23": (
+        dict(seed=23),
+        {"tps": "15086.19410627888", "measured": 300,
+         "latency": "0.0034337363636792926", "aborted": 0},
+    ),
     "tikv": (
         dict(),
         {"tps": "13368.568083358427", "measured": 300,
          "latency": "0.003680662781707489", "aborted": 0},
+    ),
+    "tikv-seed23": (
+        dict(seed=23),
+        {"tps": "13228.654035761656", "measured": 300,
+         "latency": "0.003683198564910847", "aborted": 0},
     ),
     "quorum": (
         dict(),
@@ -49,6 +65,24 @@ FINGERPRINTS = {
         dict(theta=0.9, ops_per_txn=2),
         {"tps": "140.44655946251711", "measured": 300,
          "latency": "0.07854862944570291", "aborted": 38},
+    ),
+    "tidb-skew-seed23": (
+        dict(theta=0.9, ops_per_txn=2, seed=23),
+        {"tps": "182.64467607020674", "measured": 300,
+         "latency": "0.0942598491757825", "aborted": 39},
+    ),
+    # Spanner: 2 ops/txn so the cross-shard 2PC countdown chain (parallel
+    # prepare fan-out -> decision round -> commit fan-out) is exercised,
+    # not just the single-shard Paxos write.
+    "spanner": (
+        dict(num_nodes=6, ops_per_txn=2),
+        {"tps": "9407.547763374374", "measured": 300,
+         "latency": "0.011013308506666653", "aborted": 0},
+    ),
+    "spanner-seed23": (
+        dict(num_nodes=6, ops_per_txn=2, seed=23),
+        {"tps": "9451.093113429522", "measured": 300,
+         "latency": "0.010821730319999985", "aborted": 0},
     ),
     "veritas": (
         dict(),
@@ -75,7 +109,9 @@ FINGERPRINTS = {
 def test_run_point_fingerprint(point):
     overrides, expected = FINGERPRINTS[point]
     system = point.split("-")[0]
-    result = run_point(system, scale=SMOKE, seed=11, **overrides)
+    overrides = dict(overrides)
+    seed = overrides.pop("seed", 11)
+    result = run_point(system, scale=SMOKE, seed=seed, **overrides)
     observed = {
         "tps": repr(result.tps),
         "measured": result.measured,

@@ -1,10 +1,13 @@
 """Tests for the flat-event fast paths: serve_event, the process
-trampoline, inline resolution, and interrupt/cancel delivery through
-short-circuited chains."""
+trampoline, inline resolution, interrupt/cancel delivery through
+short-circuited chains, the Countdown join primitive, and the fault
+contract of the DB-side chain objects (crash a participant mid-2PC /
+mid-update and the chain must abort cleanly: no leaked _ServeRequest,
+resource counts restored, done fired exactly once)."""
 
 import pytest
 
-from repro.sim import Environment, Interrupt, Node
+from repro.sim import Countdown, Environment, Interrupt, Node
 from repro.sim.kernel import _MAX_INLINE_DEPTH, Event
 from repro.sim.resources import Resource
 
@@ -307,3 +310,247 @@ def test_timer_cancel_alongside_serve_event(env):
     env.run()
     assert log == [1.0]
     assert env.now == 1.0                # nothing waited for the dead timer
+
+
+# -- Countdown: the 2PC fan-out join -------------------------------------------
+
+
+def test_countdown_fires_on_nth_hit(env):
+    cd = Countdown(env, 3)
+    cd.hit("a")
+    cd.hit("b")
+    assert not cd.triggered
+    cd.hit("c")
+    assert cd.triggered
+    env.run()
+    assert cd.value == ["a", "b", "c"]   # completion order
+
+
+def test_countdown_zero_branches_fires_immediately(env):
+    cd = Countdown(env, 0)
+    assert cd.triggered                  # like AllOf([]): succeeds at once
+    env.run()
+    assert cd.value == []
+
+
+def test_countdown_watch_matches_allof_timing(env):
+    """Countdown over N timers must fire at the same simulated time as
+    AllOf over the identical timers (the dispatch-equivalence contract
+    that lets 2PC chains swap one for the other)."""
+    times = {}
+
+    def with_allof(env):
+        yield env.all_of([env.timeout(d) for d in (0.3, 0.1, 0.2)])
+        times["allof"] = env.now
+
+    env.process(with_allof(env))
+    env.run()
+    env2 = Environment()
+    cd = Countdown(env2, 3)
+    for d in (0.3, 0.1, 0.2):
+        cd.watch(env2.timeout(d, value=d))
+    env2.run()
+    assert times["allof"] == env2.now == 0.3
+    assert cd.value == [0.1, 0.2, 0.3]   # completion order
+
+
+def test_countdown_watch_already_processed_event(env):
+    cd = Countdown(env, 1)
+    cd.watch(env.resolved("early"))
+    assert cd.triggered
+    env.run()
+    assert cd.value == ["early"]
+
+
+def test_countdown_fail_fast_on_branch_failure(env):
+    cd = Countdown(env, 2)
+    ok, bad = env.event(), env.event()
+    cd.watch(ok)
+    cd.watch(bad)
+    bad.fail(RuntimeError("participant died"))
+    env.run()
+    assert cd.triggered and not cd.ok
+    assert isinstance(cd.value, RuntimeError)
+
+
+def test_countdown_double_completion_guard(env):
+    """The hazard class the chains must survive: two branches failing at
+    the same instant, and a straggler completing after the join already
+    settled — neither may re-trigger (SimulationError) the countdown."""
+    cd = Countdown(env, 3)
+    a, b, c = env.event(), env.event(), env.event()
+    for ev in (a, b, c):
+        cd.watch(ev)
+    a.fail(RuntimeError("first death"))
+    b.fail(RuntimeError("same-instant second death"))
+    c.succeed("late straggler")
+    env.run()                            # would raise on a double trigger
+    assert cd.triggered and not cd.ok
+    assert str(cd.value) == "first death"
+    # direct late hit/miss after settling: absorbed, not raised
+    cd.hit("post")
+    cd.miss(RuntimeError("post"))
+
+
+def test_countdown_late_hit_after_success_ignored(env):
+    cd = Countdown(env, 1)
+    cd.hit("winner")
+    cd.hit("straggler")
+    env.run()
+    assert cd.value == ["winner"]
+
+
+# -- chain fault paths: crash a participant mid-flight -------------------------
+#
+# Each migrated chain gets a regression test for the "callback fires
+# after the chain already settled" race: a crashed participant fails the
+# chain mid-protocol and the chain must abort exactly once, release
+# every latch/lock it held, and leave no queued _ServeRequest behind.
+
+
+def _drain(env, until=30.0):
+    env.run(until=until)
+
+
+def _assert_resource_clean(res):
+    assert res.in_use == 0
+    assert res.queue_length == 0         # no leaked _ServeRequest
+
+
+def test_etcd_update_chain_aborts_cleanly_on_leader_crash():
+    from repro.systems import EtcdSystem, SystemConfig
+    from repro.txn import Op, OpType, Transaction, TxnStatus
+
+    env = Environment()
+    system = EtcdSystem(env, SystemConfig(num_nodes=3))
+    system.load({"k": b"0"})
+    system.servers[0].crash()            # the Raft leader
+    txn = Transaction(ops=[Op(OpType.UPDATE, "k", b"1")])
+    done = system.submit(txn)
+    _drain(env)
+    assert done.triggered and done.ok
+    assert txn.status is TxnStatus.ABORTED
+    assert not system._waiters            # no apply waiter leaked
+    _assert_resource_clean(system.client_node.nic_out)
+    _assert_resource_clean(system.servers[0].cpu)
+
+
+def test_tikv_update_chain_aborts_cleanly_on_leader_crash():
+    from repro.systems import SystemConfig, TikvSystem
+    from repro.txn import Op, OpType, Transaction, TxnStatus
+
+    env = Environment()
+    system = TikvSystem(env, SystemConfig(num_nodes=3))
+    records = {f"k{i}": b"0" for i in range(20)}
+    system.load(records)
+    key = "k0"
+    system.cluster.nodes[system.cluster.leader_of(key)].crash()
+    txn = Transaction(ops=[Op(OpType.UPDATE, key, b"1")])
+    done = system.submit(txn)
+    _drain(env)
+    assert done.triggered and done.ok
+    assert txn.status is TxnStatus.ABORTED
+    assert not system.cluster._waiters
+    _assert_resource_clean(system.client_node.nic_out)
+    for thread in system.cluster.store_threads.values():
+        _assert_resource_clean(thread)
+
+
+def _tidb_cross_group_txn(env, crash_groups=(0,)):
+    """A 2-key TiDB transaction spanning two region groups, with the
+    leader(s) of ``crash_groups`` (indices into the key list) crashed."""
+    from repro.systems import SystemConfig, TiDBSystem
+    from repro.txn import Op, OpType, Transaction
+
+    system = TiDBSystem(env, SystemConfig(num_nodes=3), instant_abort=True)
+    records = {f"k{i}": b"0" for i in range(40)}
+    system.load(records)
+    a = "k0"
+    b = next(k for k in records
+             if system.cluster.leader_of(k) != system.cluster.leader_of(a))
+    keys = [a, b]
+    for i in crash_groups:
+        system.cluster.nodes[system.cluster.leader_of(keys[i])].crash()
+    txn = Transaction(ops=[Op(OpType.UPDATE, a, b"1"),
+                           Op(OpType.UPDATE, b, b"2")])
+    return system, txn
+
+
+def _assert_tidb_clean_abort(system, txn, done):
+    from repro.txn import AbortReason, TxnStatus
+
+    assert done.triggered and done.ok
+    assert txn.status is TxnStatus.ABORTED
+    assert txn.abort_reason is AbortReason.COORDINATOR_ABORT
+    assert system.pstore.locked_keys() == []       # percolator rolled back
+    for latch in system._latches.values():         # scheduler latches freed
+        _assert_resource_clean(latch)
+    for thread in system.cluster.store_threads.values():
+        _assert_resource_clean(thread)
+
+
+def test_tidb_2pc_chain_aborts_cleanly_on_participant_crash():
+    """One prewrite participant dies mid-2PC: countdown fails fast, the
+    chain rolls back and aborts once, the healthy participant's later
+    completion is absorbed (the straggler leg of the race)."""
+    env = Environment()
+    system, txn = _tidb_cross_group_txn(env, crash_groups=(0,))
+    done = system.submit(txn)
+    _drain(env)
+    _assert_tidb_clean_abort(system, txn, done)
+    # Pinned modelling limit (see _Txn's fault contract): the surviving
+    # participant's replicated prewrite value stays in the single-version
+    # store after the abort; the crashed group's key does not.
+    crashed_key = next(k for k in txn.write_set
+                       if system.cluster.nodes[
+                           system.cluster.leader_of(k)].crashed)
+    assert system.cluster.state.get(crashed_key)[0] == b"0"
+
+
+def test_tidb_2pc_chain_survives_two_same_instant_failures():
+    """Both prewrite participants die: two failure callbacks race into
+    the countdown at the same instant — exactly one abort, no
+    SimulationError from a double trigger."""
+    env = Environment()
+    system, txn = _tidb_cross_group_txn(env, crash_groups=(0, 1))
+    done = system.submit(txn)
+    _drain(env)
+    _assert_tidb_clean_abort(system, txn, done)
+
+
+def test_twopc_chain_crash_between_phases_blocks_once():
+    """Coordinator crash between votes and decision over the flat chain:
+    one BLOCKED decision, prepared participants recorded, and the late
+    inter-phase timer cannot re-complete the settled instance."""
+    from repro.sharding import Decision, TwoPhaseCoordinator, Vote
+
+    env = Environment()
+    coordinator = TwoPhaseCoordinator(env, extra_phase_delay=0.5)
+
+    class Prep:
+        def __init__(self):
+            self.prepared = False
+            self.finalized = False
+
+        def prepare(self, txn_id, payload):
+            self.prepared = True
+            return env.resolved(Vote.YES)
+
+        def finalize(self, txn_id, decision):
+            self.finalized = True
+            return env.resolved(True)
+
+    parts = [Prep(), Prep()]
+    done = coordinator.run(1, parts)
+
+    def crash(env):
+        yield env.timeout(0.1)           # after votes, before decision
+        coordinator.crash()
+
+    env.process(crash(env))
+    env.run()
+    assert done.value is Decision.BLOCKED
+    assert all(p.prepared for p in parts)
+    assert not any(p.finalized for p in parts)     # phase 2 never ran
+    assert coordinator.stats.blocked == 1
+    assert coordinator.stats.prepared_blocked_participants == parts

@@ -1,0 +1,161 @@
+"""Differential tests: flat chain paths vs retained ``*_gen`` coroutines.
+
+Every DB-side transaction flow migrated to the flat-event calling
+convention keeps its generator form alive (``submit_gen``,
+``kv_write_gen``, ``run_gen``...).  These tests drive the chain path and
+the generator path through identical seeded closed loops at **two**
+seeds and demand byte-identical ``RunResult`` fingerprints — the proof
+that flattening changed only the calling convention, never the simulated
+schedule.  A divergence at either seed means a chain stage parks its
+callback (or fires its completion) at a different cascade position than
+the generator's resume did.
+
+The same pattern locks in the 2PC coordinators: the participant-countdown
+callback chain must land every decision at the exact simulated time the
+retained generator protocol did.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SMOKE, run_point
+from repro.consensus.pbft import PbftGroup
+from repro.sharding import BftCoordinator, Decision, TwoPhaseCoordinator, Vote
+from repro.sim import Environment, RngRegistry
+from repro.systems import (AhlSystem, EtcdSystem, HybridSystem,
+                           SpannerSystem, TiDBSystem, TikvSystem)
+
+from ..conftest import make_cluster
+
+#: (system class, run_point name, overrides) — one entry per migrated flow.
+#: tidb runs skewed multi-op so retries, latch contention, and the
+#: percolator 2PC fan-out are all on the compared path; spanner and ahl
+#: run 2 ops/txn so cross-shard 2PC chains fire.
+CASES = {
+    "etcd": (EtcdSystem, "etcd", dict()),
+    "tikv": (TikvSystem, "tikv", dict()),
+    "tidb": (TiDBSystem, "tidb",
+             dict(theta=0.9, ops_per_txn=2, measure_txns=150)),
+    "spanner": (SpannerSystem, "spanner",
+                dict(num_nodes=6, ops_per_txn=2, measure_txns=150)),
+    "ahl": (AhlSystem, "ahl",
+            dict(num_nodes=6, ops_per_txn=2, measure_txns=100)),
+    "veritas": (HybridSystem, "veritas", dict(measure_txns=150)),
+}
+
+
+def _fingerprint(result):
+    return {
+        "tps": repr(result.tps),
+        "measured": result.measured,
+        "latency": repr(result.stats.latency.mean),
+        "aborted": result.stats.aborted,
+        "abort_reasons": dict(result.stats.abort_reasons),
+    }
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+@pytest.mark.parametrize("seed", [11, 23])
+def test_flat_chain_matches_generator_path(case, seed, monkeypatch):
+    cls, system, overrides = CASES[case]
+    flat = _fingerprint(run_point(system, scale=SMOKE, seed=seed,
+                                  **overrides))
+    monkeypatch.setattr(cls, "submit", cls.submit_gen)
+    gen = _fingerprint(run_point(system, scale=SMOKE, seed=seed,
+                                 **overrides))
+    assert flat == gen, (
+        f"{case} flat chain diverged from generator path at seed {seed}")
+
+
+# -- the 2PC coordinators ------------------------------------------------------
+
+
+class _TimedParticipant:
+    """Deterministic participant with seeded prepare/finalize delays."""
+
+    def __init__(self, env, vote, prepare_delay, finalize_delay):
+        self.env = env
+        self.vote = vote
+        self.prepare_delay = prepare_delay
+        self.finalize_delay = finalize_delay
+        self.decision = None
+
+    def prepare(self, txn_id, payload):
+        ev = self.env.event()
+
+        def go():
+            yield self.env.timeout(self.prepare_delay)
+            ev.succeed(self.vote)
+        self.env.process(go())
+        return ev
+
+    def finalize(self, txn_id, decision):
+        ev = self.env.event()
+
+        def go():
+            yield self.env.timeout(self.finalize_delay)
+            self.decision = decision
+            ev.succeed(True)
+        self.env.process(go())
+        return ev
+
+
+def _drive_2pc(runner_name: str, seed: int):
+    """Run a batch of seeded 2PC instances; return (times, decisions, stats)."""
+    import random
+    rng = random.Random(seed)
+    env = Environment()
+    coordinator = TwoPhaseCoordinator(env, extra_phase_delay=0.01)
+    runner = getattr(coordinator, runner_name)
+    results = []
+    for txn_id in range(8):
+        votes = [Vote.NO if rng.random() < 0.3 else Vote.YES
+                 for _ in range(3)]
+        parts = [_TimedParticipant(env, v, rng.uniform(0.01, 0.2),
+                                   rng.uniform(0.01, 0.1)) for v in votes]
+        done = runner(txn_id, parts)
+        done.callbacks.append(
+            lambda ev, parts=parts: results.append(
+                (env.now, ev.value, [p.decision for p in parts])))
+    env.run()
+    return results, (coordinator.stats.started, coordinator.stats.committed,
+                     coordinator.stats.aborted)
+
+
+@pytest.mark.parametrize("seed", [5, 17])
+def test_2pc_countdown_chain_matches_generator(seed):
+    flat = _drive_2pc("run", seed)
+    gen = _drive_2pc("run_gen", seed)
+    assert flat == gen, "2PC countdown chain diverged from generator protocol"
+
+
+def _drive_bft2pc(runner_name: str, seed: int):
+    env = Environment()
+    network, nodes = make_cluster(env, 4, prefix="r")
+    committee = PbftGroup(env, nodes, network, rng=RngRegistry(seed))
+    coordinator = BftCoordinator(env, committee)
+    runner = getattr(coordinator, runner_name)
+    import random
+    rng = random.Random(seed)
+    results = []
+    for txn_id in range(4):
+        votes = [Vote.NO if rng.random() < 0.25 else Vote.YES
+                 for _ in range(2)]
+        parts = [_TimedParticipant(env, v, rng.uniform(0.01, 0.1),
+                                   rng.uniform(0.01, 0.05)) for v in votes]
+        done = runner(txn_id, parts)
+        done.callbacks.append(
+            lambda ev: results.append((env.now, ev.value)))
+    env.run(until=60)
+    return results, coordinator.consensus_rounds, (
+        coordinator.stats.committed, coordinator.stats.aborted)
+
+
+@pytest.mark.parametrize("seed", [5, 17])
+def test_bft_2pc_countdown_chain_matches_generator(seed):
+    flat = _drive_bft2pc("run", seed)
+    gen = _drive_bft2pc("run_gen", seed)
+    assert flat[0], "no BFT-2PC decisions landed"
+    assert flat == gen, "BFT-2PC chain diverged from generator protocol"
+    assert all(isinstance(d, Decision) for _t, d in flat[0])

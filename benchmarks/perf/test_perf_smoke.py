@@ -71,3 +71,19 @@ def test_db_smoke_wall_budget():
     # participant) update path blows these budgets.
     assert etcd["wall_s"] < 1.5, etcd
     assert tidb["wall_s"] < 2.5, tidb
+
+
+def test_storage_ablation_smoke_budget_and_direction():
+    from repro.bench.perf import bench_storage
+    mpt, lsm = bench_storage(scale=SMOKE, seed=7)
+    # Wall budget: both quorum points run in ~0.2s each on a dev box;
+    # 10x headroom for CI.  Guards the engine layer — a per-write (vs
+    # per-block) trie commit or an accidentally quadratic engine mirror
+    # blows this budget.
+    assert mpt["wall_s"] + lsm["wall_s"] < 4.0, (mpt, lsm)
+    # Direction (Fig. 12): the authenticated MPT point must be slower in
+    # *simulated* terms than plain LSM, and the gap must come from real
+    # measured hash work, not calibration constants.
+    assert mpt["sim_tps"] < lsm["sim_tps"], (mpt, lsm)
+    assert mpt["hashes_charged"] > 0
+    assert lsm["hashes_charged"] == 0

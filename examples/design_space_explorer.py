@@ -9,7 +9,12 @@ the forecast bands.  This is the constructive use of the paper's
 framework: estimate a future hybrid's throughput before building it.
 
 Run:  python examples/design_space_explorer.py
+
+Set ``REPRO_EXAMPLES_SCALE=smoke`` for a reduced-scale sweep (used by
+the CI examples smoke job).
 """
+
+import os
 
 from repro.core import (Category, ConcurrencyModel, FailureModelChoice,
                         IndexKind, LedgerAbstraction, ReplicationApproach,
@@ -54,6 +59,9 @@ def make_profile(label: str, rmodel, rapproach, fmodel) -> SystemProfile:
         index=IndexKind.LSM, sharding=ShardingSupport.NONE)
 
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SCALE") == "smoke"
+
+
 def main() -> None:
     print("Design-space sweep: YCSB update, 1 kB records, 4 nodes")
     print("-" * 74)
@@ -64,12 +72,15 @@ def main() -> None:
         env = Environment()
         system = build_system(env, profile, SystemConfig(num_nodes=4),
                               spec=spec)
-        workload = YcsbWorkload(YcsbConfig(record_count=5_000,
+        workload = YcsbWorkload(YcsbConfig(record_count=1_000 if SMOKE
+                                           else 5_000,
                                            record_size=1000))
         system.load(workload.initial_records())
         result = run_closed_loop(
             env, system, workload.next_update,
-            DriverConfig(clients=256, warmup_txns=100, measure_txns=1000,
+            DriverConfig(clients=128 if SMOKE else 256,
+                         warmup_txns=25 if SMOKE else 100,
+                         measure_txns=200 if SMOKE else 1000,
                          max_sim_time=120))
         print(f"{label:>14} {prediction.band.value:>14} "
               f"{result.tps:>14,.0f}")

@@ -7,23 +7,34 @@ the YCSB uniform update workload against both, and prints the
 throughput/latency dichotomy the paper opens with.
 
 Run:  python examples/quickstart.py
+
+Set ``REPRO_EXAMPLES_SCALE=smoke`` to run a reduced-scale version (the
+CI examples smoke job uses this to keep the builder API honest without
+paying full measurement time).
 """
+
+import os
 
 from repro.core import build_system
 from repro.sim import Environment
 from repro.systems import SystemConfig
 from repro.workloads import DriverConfig, YcsbConfig, YcsbWorkload, run_closed_loop
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SCALE") == "smoke"
+
 
 def measure(name: str, clients: int) -> None:
     env = Environment()
     system = build_system(env, name, SystemConfig(num_nodes=5))
-    workload = YcsbWorkload(YcsbConfig(record_count=10_000,
+    workload = YcsbWorkload(YcsbConfig(record_count=2_000 if SMOKE
+                                       else 10_000,
                                        record_size=1000))
     system.load(workload.initial_records())
     result = run_closed_loop(
         env, system, workload.next_update,
-        DriverConfig(clients=clients, warmup_txns=200, measure_txns=1500))
+        DriverConfig(clients=min(clients, 400) if SMOKE else clients,
+                     warmup_txns=50 if SMOKE else 200,
+                     measure_txns=300 if SMOKE else 1500))
     print(f"{name:8s}  {result.tps:10,.0f} tps   "
           f"mean latency {result.mean_latency * 1000:8.1f} ms   "
           f"aborts {result.abort_rate:6.2%}")

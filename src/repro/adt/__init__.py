@@ -1,11 +1,14 @@
-"""Authenticated data structures: Merkle tree, MPT, Merkle Bucket Tree."""
+"""Authenticated data structures: Merkle tree, MPT, Merkle Bucket Tree,
+Merkle B+ tree."""
 
+from .btm import MerkleBTree
 from .mbt import MerkleBucketTree
 from .merkle import MerkleProof, MerkleTree
 from .mpt import EMPTY_ROOT, MerklePatriciaTrie, NodeStore, verify_proof
 
 __all__ = [
     "EMPTY_ROOT",
+    "MerkleBTree",
     "MerkleBucketTree",
     "MerklePatriciaTrie",
     "MerkleProof",

@@ -1,0 +1,253 @@
+"""Merkle B+ tree (FalconDB / IntegriDB-style authenticated index).
+
+Table 2's ``b-tree + merkle tree`` storage choice: the primary index is a
+B+ tree (values in the leaves, leaves chained), and every node carries a
+digest — a leaf hashes its entries, an internal node hashes its children's
+digests — so the root digest authenticates the full key-value state, and
+an access path plus sibling digests is an integrity proof (Section 3.3.2).
+
+Unlike the MPT's content-addressed node store, nodes are updated in place
+and only the *dirty* paths are re-hashed at :meth:`MerkleBTree.commit`
+(FalconDB batches IntegriDB digest maintenance per block the same way), so
+the per-record storage overhead is a couple of digests — between the MPT's
+>1 kB and the fixed-scale bucket tree's few dozen bytes in the paper's
+Figure 13 ordering.
+
+Write protocol parity with the other authenticated structures: ``put`` /
+``stage`` insert immediately (visible to ``get``) and mark the path dirty;
+``commit()`` folds all dirty nodes into a fresh root, hashing each dirty
+node exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..crypto.hashing import NULL_HASH, hash_concat
+
+__all__ = ["MerkleBTree"]
+
+
+class _Node:
+    __slots__ = ("leaf", "keys", "children", "values", "next",
+                 "digest", "dirty")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        self.keys: list = []
+        self.children: list["_Node"] = []
+        self.values: list = []
+        self.next: Optional["_Node"] = None
+        self.digest: bytes = NULL_HASH
+        self.dirty = True
+
+
+def _bisect(keys: list, key) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class MerkleBTree:
+    """A B+ tree over bytes keys/values with a Merkle digest overlay."""
+
+    def __init__(self, order: int = 64):
+        if order < 3:
+            raise ValueError("order must be >= 3")
+        self.order = order
+        self._root = _Node(leaf=True)
+        self._size = 0
+        self.hashes_computed = 0
+        self._staged = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def _find_leaf(self, key) -> _Node:
+        node = self._root
+        while not node.leaf:
+            idx = _bisect(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                idx += 1
+            node = node.children[idx]
+        return node
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        leaf = self._find_leaf(key)
+        idx = _bisect(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return None
+
+    def __contains__(self, key) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- mutation -------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert/overwrite; digests fold into the root at :meth:`commit`."""
+        if not isinstance(key, bytes) or not isinstance(value, bytes):
+            raise TypeError("MerkleBTree keys/values are bytes")
+        root = self._root
+        result = self._insert(root, key, value)
+        if result is not None:
+            sep, right = result
+            new_root = _Node(leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [root, right]
+            self._root = new_root
+        self._staged += 1
+
+    # stage()/commit() protocol parity with the MPT and MBT: writes are
+    # applied (and readable) immediately, the dirty-path digests fold at
+    # commit().
+    stage = put
+
+    @property
+    def staged(self) -> int:
+        """Writes applied since the last commit (dirty-path granularity)."""
+        return self._staged
+
+    def _insert(self, node: _Node, key, value):
+        node.dirty = True
+        if node.leaf:
+            idx = _bisect(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx] = value
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self._size += 1
+            if len(node.keys) >= self.order:
+                return self._split_leaf(node)
+            return None
+        idx = _bisect(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            idx += 1
+        result = self._insert(node.children[idx], key, value)
+        if result is None:
+            return None
+        sep, right = result
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.keys) >= self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node):
+        mid = len(node.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next = node.next
+        node.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(leaf=False)
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return sep, right
+
+    # -- digest maintenance ----------------------------------------------------
+
+    def commit(self) -> bytes:
+        """Re-hash every dirty node bottom-up; return the fresh root digest."""
+        self._fold(self._root)
+        self._staged = 0
+        return self._root.digest
+
+    def _fold(self, node: _Node) -> bytes:
+        if not node.dirty:
+            return node.digest
+        self.hashes_computed += 1
+        if node.leaf:
+            parts = []
+            for key, value in zip(node.keys, node.values):
+                parts.append(key)
+                parts.append(value)
+            node.digest = hash_concat(b"leaf", *parts)
+        else:
+            node.digest = hash_concat(
+                b"node", *(self._fold(child) for child in node.children))
+        node.dirty = False
+        return node.digest
+
+    @property
+    def root(self) -> bytes:
+        """Digest as of the last :meth:`commit` (dirty paths excluded)."""
+        return self._root.digest
+
+    # -- proofs ----------------------------------------------------------------
+
+    def prove(self, key: bytes) -> dict:
+        """Integrity proof: leaf entries + sibling digest groups to the root.
+
+        Only valid when no writes are pending (``commit`` first).
+        """
+        path: list[tuple[_Node, int]] = []
+        node = self._root
+        while not node.leaf:
+            idx = _bisect(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                idx += 1
+            path.append((node, idx))
+            node = node.children[idx]
+        groups = [([child.digest for child in parent.children], idx)
+                  for parent, idx in reversed(path)]
+        return {"entries": list(zip(node.keys, node.values)),
+                "groups": groups}
+
+    @staticmethod
+    def verify_proof(key: bytes, value: bytes, proof: dict,
+                     root: bytes) -> bool:
+        """Check a proof produced by :meth:`prove` against ``root``."""
+        entries = dict(proof["entries"])
+        if entries.get(key) != value:
+            return False
+        parts = []
+        for k, v in proof["entries"]:
+            parts.append(k)
+            parts.append(v)
+        digest = hash_concat(b"leaf", *parts)
+        for group, idx in proof["groups"]:
+            if not 0 <= idx < len(group) or group[idx] != digest:
+                return False
+            digest = hash_concat(b"node", *group)
+        return digest == root
+
+    # -- scans / accounting ------------------------------------------------------
+
+    def items(self) -> Iterator[tuple]:
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next
+
+    def node_count(self) -> int:
+        def count(node: _Node) -> int:
+            if node.leaf:
+                return 1
+            return 1 + sum(count(c) for c in node.children)
+
+        return count(self._root)
+
+    def total_bytes(self) -> int:
+        """On-disk bytes: entries plus one 32-byte digest per node."""
+        entry_bytes = sum(len(k) + len(v) + 8 for k, v in self.items())
+        return entry_bytes + 32 * self.node_count()

@@ -68,13 +68,21 @@ def run_point(
     measure_txns: Optional[int] = None,
     system_kwargs: Optional[dict] = None,
     costs=None,
+    extras: Optional[dict] = None,
 ) -> RunResult:
-    """Run one YCSB measurement point and return its :class:`RunResult`."""
+    """Run one YCSB measurement point and return its :class:`RunResult`.
+
+    ``extras`` lands in ``SystemConfig.extras`` — e.g.
+    ``extras={"index": "lsm+mpt"}`` swaps the system's storage engine,
+    ``extras={"wal": True}`` enables the group-committed WAL.
+    """
     env = Environment()
     if costs is not None:
-        config = SystemConfig(num_nodes=num_nodes, seed=seed, costs=costs)
+        config = SystemConfig(num_nodes=num_nodes, seed=seed, costs=costs,
+                              extras=extras or {})
     else:
-        config = SystemConfig(num_nodes=num_nodes, seed=seed)
+        config = SystemConfig(num_nodes=num_nodes, seed=seed,
+                              extras=extras or {})
     sys_obj = build_system(env, system, config, **(system_kwargs or {}))
     workload = YcsbWorkload(YcsbConfig(
         record_count=scale.record_count,

@@ -33,7 +33,7 @@ from .harness import BENCH, SMOKE, Scale, run_point
 
 __all__ = ["bench_kernel", "bench_mpt", "bench_mbt", "bench_zipf",
            "bench_driver", "bench_fabric", "bench_scale", "bench_db",
-           "run_perf", "write_trajectory"]
+           "bench_storage", "run_perf", "write_trajectory"]
 
 
 def bench_kernel(events: int = 200_000, _timed: bool = True) -> dict:
@@ -149,10 +149,11 @@ def bench_zipf(draws: int = 500_000, n: int = 100_000,
 
 
 def _bench_point(name: str, system: str, scale: Scale, seed: int,
-                 clients=None) -> dict:
+                 clients=None, extras=None) -> dict:
     """Time one ``run_point`` and report its wall rate + sim fingerprint."""
     start = time.perf_counter()
-    result = run_point(system, scale=scale, seed=seed, clients=clients)
+    result = run_point(system, scale=scale, seed=seed, clients=clients,
+                       extras=extras)
     wall = time.perf_counter() - start
     out = {"name": name, "system": system, "scale": scale.name,
            "seed": seed, "wall_s": round(wall, 4),
@@ -161,6 +162,14 @@ def _bench_point(name: str, system: str, scale: Scale, seed: int,
            "mean_latency": result.stats.latency.mean}
     if clients is not None:
         out["clients"] = clients
+    if extras is not None:
+        out["extras"] = extras
+        sys_obj = result.extras.get("system")
+        engine = getattr(sys_obj, "engine", None)
+        if engine is not None:
+            out["index"] = engine.kind.value
+            out["hashes_charged"] = getattr(sys_obj, "mpt_hashes_charged",
+                                            None)
     return out
 
 
@@ -202,6 +211,25 @@ def bench_db(scale: Scale = BENCH, seed: int = 7) -> list[dict]:
             _bench_point("db-tidb", "tidb", scale, seed)]
 
 
+def bench_storage(scale: Scale = BENCH, seed: int = 7) -> list[dict]:
+    """Fig. 12-style storage ablation on the quorum path.
+
+    The same seeded point with the authenticated LSM+MPT engine vs the
+    plain LSM engine — the only difference between the two runs is the
+    index-commit charge wired from the engine's *measured*
+    ``hashes_computed`` deltas (not calibration constants), so the
+    ``sim_tps`` gap is the paper's authenticated-index tax.  Compare
+    ``wall_s`` across trajectory files; the sim fingerprints must stay
+    identical per seed.
+    """
+    return [
+        _bench_point("storage-mpt", "quorum", scale, seed,
+                     extras={"index": "lsm+mpt"}),
+        _bench_point("storage-lsm", "quorum", scale, seed,
+                     extras={"index": "lsm"}),
+    ]
+
+
 def run_perf(scale: Scale = BENCH) -> dict:
     """Run every microbenchmark, scaled down for smoke runs."""
     small = scale.name == "smoke"
@@ -214,6 +242,7 @@ def run_perf(scale: Scale = BENCH) -> dict:
         bench_fabric(scale=SMOKE if small else scale),
         bench_scale(scale=SMOKE if small else scale),
         *bench_db(scale=SMOKE if small else scale),
+        *bench_storage(scale=SMOKE if small else scale),
     ]
     return {
         "scale": scale.name,
@@ -258,5 +287,7 @@ def format_perf(report: dict) -> str:
             line += f"   (sim tps {r['sim_tps']:,.1f})"
         if name == "scale":
             line += f" [{r.get('clients', 0):,d} clients]"
+        if name.startswith("storage-"):
+            line += f" [{r.get('index', '?')}]"
         lines.append(line)
     return "\n".join(lines)

@@ -11,17 +11,41 @@ same substrates.
 >>> system = build_system(env, "etcd")          # dedicated model
 >>> system = build_system(env, "veritas")       # composed hybrid
 >>> system = build_system(env, custom_profile)  # your own design point
+
+The profile's Table 2 **index** column maps to a runnable storage engine
+(:mod:`repro.storage.engine`): hybrids build theirs from the profile
+directly, dedicated models default to their historical structure and
+honour ``SystemConfig.extras["index"]`` as an override — so the Fig. 12
+authenticated-vs-plain storage ablation is one config line on any system:
+
+>>> config = SystemConfig(extras={"index": "lsm+mpt"})
+>>> system = build_system(env, "quorum", config)   # quorum over a real MPT
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, TYPE_CHECKING, Union
 
-from ..sim.kernel import Environment
-from ..systems.base import SystemConfig, TransactionalSystem
-from .taxonomy import SystemProfile, profile as lookup_profile
+from .taxonomy import IndexKind, SystemProfile, profile as lookup_profile
 
-__all__ = ["build_system", "DEDICATED_MODELS"]
+if TYPE_CHECKING:  # pragma: no cover - annotations only; a module-level
+    # import would close the storage.engine -> core.taxonomy ->
+    # core.__init__ -> builder -> systems -> storage.engine cycle.
+    from ..sim.kernel import Environment
+    from ..systems.base import SystemConfig, TransactionalSystem
+
+__all__ = ["build_system", "engine_for_index", "DEDICATED_MODELS"]
+
+
+def engine_for_index(kind: "IndexKind | str"):
+    """Map a Table 2 index choice to a fresh :class:`StorageEngine`.
+
+    Accepts an :class:`IndexKind` or a config alias string such as
+    ``"lsm+mpt"``.  (Imported lazily — ``storage.engine`` itself imports
+    ``core.taxonomy``.)
+    """
+    from ..storage.engine import engine_for
+    return engine_for(kind)
 
 
 def _dedicated_models() -> dict:

@@ -117,6 +117,11 @@ class CostModel:
     #   (1547 tps at 10 B -> 245 at 1000 B -> 58 at 5000 B)
     mpt_update_base: float = 56 * US       # Fig. 11b: 56 us at 10 B records
     mpt_update_per_byte: float = 0.49 * US  # Fig. 11b: ~2.5 ms at 5000 B
+    index_node_op: float = 0.0             # per structural node write at an
+    #   engine commit (B-tree page touch, memtable insert, bucket update);
+    #   zero by default because that work is already folded into the
+    #   calibrated store_put / commit_serial_cost constants — the engines
+    #   still *report* node_ops so an ablation can price them explicitly.
     mpt_node_hash_bytes: int = 128         # avg serialized trie-node size
     #   hashed per batched-commit node (branch nodes dominate: 16 x 32 B
     #   child digests amortized over path sharing); used by the Sec. 6
@@ -175,6 +180,26 @@ class CostModel:
         Fig. 11b reconstruction fit.
         """
         return hashes_computed * self.hash_time(self.mpt_node_hash_bytes)
+
+    def index_commit_time(self, hashes_computed: int,
+                          node_ops: int = 0) -> float:
+        """Simulated cost of one storage-engine block commit.
+
+        Generalizes the PR 2 :meth:`mpt_commit_time` wiring to every
+        engine: per *measured* digest the commit reported, charge the
+        node hash **plus one store_put** — an authenticated index
+        re-serializes and re-writes every re-hashed node to its backing
+        store (geth writes each dirty trie node to LevelDB), which is
+        exactly the extra I/O a plain index never pays.  Zero for plain
+        engines, so the Fig. 12 authenticated-vs-plain gap is this term
+        scaled by the real hash count.  ``node_ops`` (structural writes
+        the plain path performs too) charge at :attr:`index_node_op`,
+        zero by default — that work is already inside the calibrated
+        ``store_put`` / ``commit_serial_cost`` the systems charge.
+        """
+        per_node = self.hash_time(self.mpt_node_hash_bytes) + self.store_put
+        return (hashes_computed * per_node
+                + node_ops * self.index_node_op)
 
     def evm_exec_time(self, record_size: int) -> float:
         return self.evm_exec_base + self.evm_exec_per_byte * record_size

@@ -1,6 +1,9 @@
-"""Storage engines: LSM tree, B+ tree, skip list, WAL, SSTables."""
+"""Storage: LSM tree, B+ tree, skip list, WAL, SSTables, and the
+pluggable :mod:`~repro.storage.engine` layer over all of them."""
 
 from .btree import BPlusTree
+from .engine import (CommitResult, ENGINES, StorageEngine, engine_for,
+                     parse_index_kind)
 from .lsm import LSMTree
 from .skiplist import SkipList
 from .sstable import TOMBSTONE, BloomFilter, SSTable
@@ -9,10 +12,15 @@ from .wal import WalRecord, WriteAheadLog
 __all__ = [
     "BPlusTree",
     "BloomFilter",
+    "CommitResult",
+    "ENGINES",
     "LSMTree",
     "SSTable",
     "SkipList",
+    "StorageEngine",
     "TOMBSTONE",
     "WalRecord",
     "WriteAheadLog",
+    "engine_for",
+    "parse_index_kind",
 ]

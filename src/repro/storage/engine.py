@@ -1,0 +1,380 @@
+"""Pluggable storage engines: every Table 2 index choice, one interface.
+
+The paper's storage dimension (Section 3.3.2, Table 2) spans six index
+kinds — plain LSM / B-tree / skip list on the performance side, and the
+authenticated LSM+MPT (Ethereum/Quorum), LSM+Merkle-bucket-tree (Fabric
+v0.6) and B-tree+Merkle (FalconDB) on the security side.  This module
+lifts that choice out of the individual system models into a swappable
+:class:`StorageEngine`, so the Figure 12 authenticated-vs-plain ablation
+is a one-line config change (``SystemConfig.extras["index"]`` on the
+dedicated models, ``spec["index"]`` on hybrids) on *any* system.
+
+The engine interface mirrors what the systems layer already does:
+
+* ``get``/``put``/``apply_write_set`` over the system-level ``str`` keys
+  (encoded to bytes at this boundary);
+* a per-block ``commit(version)`` returning a :class:`CommitResult` with
+  the fresh authenticated ``root`` (``NULL_HASH`` for plain engines), the
+  number of ``hashes_computed`` by the commit, and the structural
+  ``node_ops`` performed since the previous commit.
+
+``hashes_computed`` is a *measured* quantity from the real structure —
+systems charge it through :meth:`repro.sim.costs.CostModel.index_commit_time`
+(extending the PR 2 ``mpt_commit_time`` wiring), replacing the old
+per-payload index-cost calibration constants.  ``node_ops`` is accounting
+(its charge constant defaults to zero: structural write work is already
+folded into the calibrated ``store_put`` / ``commit_serial_cost``).
+
+Engines are pure state + bookkeeping — they schedule no simulation
+events, so attaching one to a system changes simulated outcomes only
+through the costs the system explicitly charges from the commit deltas.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Union
+
+from ..adt.btm import MerkleBTree
+from ..adt.mbt import MerkleBucketTree
+from ..adt.mpt import MerklePatriciaTrie
+from ..core.taxonomy import IndexKind
+from ..crypto.hashing import NULL_HASH
+from .btree import BPlusTree
+from .lsm import LSMTree
+from .skiplist import SkipList
+from .wal import WalRecord, WriteAheadLog
+
+__all__ = ["CommitResult", "StorageEngine", "LsmEngine", "BTreeEngine",
+           "SkipListEngine", "MptEngine", "MbtEngine", "BTreeMerkleEngine",
+           "engine_for", "engine_from_config", "parse_index_kind",
+           "ENGINES", "KNOWN_EXTRAS_KEYS"]
+
+
+class CommitResult(NamedTuple):
+    """Outcome of one per-block engine commit."""
+
+    root: bytes           #: authenticated state root (NULL_HASH when plain)
+    hashes_computed: int  #: digests computed by this commit (0 when plain)
+    node_ops: int         #: structural node writes since the last commit
+
+
+#: WAL checkpoint threshold: log bytes kept before the group-committed log
+#: is truncated (models the post-flush truncation an LSM WAL gets for free).
+_WAL_CHECKPOINT_BYTES = 1 << 20
+
+
+class StorageEngine:
+    """One state organization behind the versioned store.
+
+    Subclasses wrap a concrete structure from :mod:`repro.storage` /
+    :mod:`repro.adt` and report measured commit deltas.  An optional
+    group-committed :class:`WriteAheadLog` (``SystemConfig.extras["wal"]``)
+    journals every write ahead of the structure and checkpoints at commit.
+    """
+
+    kind: IndexKind
+    authenticated = False
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None):
+        self.wal = wal
+        self._wal_seq = 0
+        self.puts = 0
+        self._node_ops = 0
+        self.commits = 0
+
+    # -- write path ----------------------------------------------------------
+
+    def put(self, key: str, value: bytes) -> None:
+        self.puts += 1
+        kb = key.encode()
+        if self.wal is not None:
+            self._wal_seq += 1
+            self.wal.append(WalRecord(self._wal_seq, kb, value))
+        self._put(kb, value)
+
+    def apply_write_set(self, write_set: dict[str, bytes]) -> None:
+        for key, value in write_set.items():
+            self.put(key, value)
+
+    # -- read path -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self._get(key.encode())
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    # -- per-block commit ------------------------------------------------------
+
+    def commit(self, version: int = 0) -> CommitResult:
+        """Fold pending writes; report the measured structural deltas."""
+        root, hashes = self._commit()
+        node_ops = self._node_ops
+        self._node_ops = 0
+        self.commits += 1
+        if self.wal is not None:
+            # Group commit: one sync covers the whole block's records.
+            self.wal.sync()
+            if self.wal.size_bytes() > _WAL_CHECKPOINT_BYTES:
+                self.wal.truncate()
+        return CommitResult(root, hashes, node_ops)
+
+    # -- engine-specific hooks --------------------------------------------------
+
+    def _put(self, key: bytes, value: bytes) -> None:
+        raise NotImplementedError
+
+    def _get(self, key: bytes) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def _commit(self) -> tuple[bytes, int]:
+        """Fold writes; return (root, hashes computed by this commit)."""
+        return NULL_HASH, 0
+
+    def data_bytes(self) -> int:
+        """Approximate on-disk bytes of the structure (Fig. 12/13)."""
+        raise NotImplementedError
+
+
+# -- plain (performance-oriented) engines ------------------------------------------
+
+
+class LsmEngine(StorageEngine):
+    """Plain LSM tree (LevelDB/RocksDB/TiKV; Table 2 "LSM")."""
+
+    kind = IndexKind.LSM
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None,
+                 tree: Optional[LSMTree] = None):
+        super().__init__(wal)
+        self.tree = tree if tree is not None else LSMTree(memtable_limit=4096)
+
+    def _put(self, key: bytes, value: bytes) -> None:
+        flushed = self.tree.bytes_flushed
+        self.tree.put(key, value)
+        # memtable insert, plus the SSTable writes when a flush cascades
+        self._node_ops += 1 + (self.tree.bytes_flushed != flushed)
+
+    def _get(self, key: bytes) -> Optional[bytes]:
+        return self.tree.get(key)
+
+    def data_bytes(self) -> int:
+        return self.tree.total_bytes()
+
+
+class BTreeEngine(StorageEngine):
+    """Plain B+ tree (BoltDB/MySQL; Table 2 "B-tree")."""
+
+    kind = IndexKind.BTREE
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None,
+                 tree: Optional[BPlusTree] = None):
+        super().__init__(wal)
+        self.tree = tree if tree is not None else BPlusTree(order=64)
+
+    def _put(self, key: bytes, value: bytes) -> None:
+        self.tree.put(key, value)
+        self._node_ops += self.tree.depth()   # root-to-leaf page writes
+
+    def _get(self, key: bytes) -> Optional[bytes]:
+        return self.tree.get(key)
+
+    def data_bytes(self) -> int:
+        total = 0
+        for key, value in self.tree.items():
+            total += len(key) + len(value) + 8
+        return total + 64 * self.tree.node_count()   # page headers
+
+
+class SkipListEngine(StorageEngine):
+    """Plain skip list (Redis sorted values backing Veritas)."""
+
+    kind = IndexKind.SKIP_LIST
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None,
+                 tree: Optional[SkipList] = None):
+        super().__init__(wal)
+        self.tree = tree if tree is not None else SkipList()
+
+    def _put(self, key: bytes, value: bytes) -> None:
+        self.tree.put(key, value)
+        self._node_ops += 1
+
+    def _get(self, key: bytes) -> Optional[bytes]:
+        return self.tree.get(key)
+
+    def data_bytes(self) -> int:
+        return sum(len(k) + len(v) + 8 for k, v in self.tree.items())
+
+
+# -- authenticated (security-oriented) engines ---------------------------------------
+
+
+class MptEngine(StorageEngine):
+    """LSM + Merkle Patricia Trie (Ethereum/Quorum; Table 2 "LSM+MPT").
+
+    The content-addressed :class:`~repro.adt.mpt.NodeStore` stands in for
+    the LSM the trie nodes live in (geth stores them in LevelDB the same
+    content-addressed way).  Writes stage against the trie's in-memory
+    overlay; ``commit`` folds them geth-style, hashing each touched node
+    once, and the *measured* hash delta is what systems charge.
+    """
+
+    kind = IndexKind.LSM_MPT
+    authenticated = True
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None,
+                 trie: Optional[MerklePatriciaTrie] = None):
+        super().__init__(wal)
+        self.trie = trie if trie is not None else MerklePatriciaTrie()
+        # every engine exposes its structure as ``tree`` (the MPT keeps
+        # ``trie`` as the domain name)
+        self.tree = self.trie
+
+    def _put(self, key: bytes, value: bytes) -> None:
+        self.trie.stage(key, value)
+        self._node_ops += 1
+
+    def _get(self, key: bytes) -> Optional[bytes]:
+        return self.trie.get(key)
+
+    def _commit(self) -> tuple[bytes, int]:
+        before = self.trie.hashes_computed
+        root = self.trie.commit()
+        return root, self.trie.hashes_computed - before
+
+    def data_bytes(self) -> int:
+        return self.trie.store.total_bytes()
+
+
+class MbtEngine(StorageEngine):
+    """LSM + Merkle Bucket Tree (Fabric v0.6; Table 2 "LSM+MBT")."""
+
+    kind = IndexKind.LSM_MBT
+    authenticated = True
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None,
+                 tree: Optional[MerkleBucketTree] = None):
+        super().__init__(wal)
+        self.tree = tree if tree is not None else MerkleBucketTree()
+
+    def _put(self, key: bytes, value: bytes) -> None:
+        self.tree.put(key, value)
+        self._node_ops += 1
+
+    def _get(self, key: bytes) -> Optional[bytes]:
+        return self.tree.get(key)
+
+    def _commit(self) -> tuple[bytes, int]:
+        before = self.tree.hashes_computed
+        root = self.tree.commit()
+        return root, self.tree.hashes_computed - before
+
+    def data_bytes(self) -> int:
+        return self.tree.total_bytes()
+
+
+class BTreeMerkleEngine(StorageEngine):
+    """B-tree + Merkle overlay (FalconDB/IntegriDB; Table 2 "B-tree+Merkle")."""
+
+    kind = IndexKind.BTREE_MERKLE
+    authenticated = True
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None,
+                 tree: Optional[MerkleBTree] = None):
+        super().__init__(wal)
+        self.tree = tree if tree is not None else MerkleBTree(order=64)
+
+    def _put(self, key: bytes, value: bytes) -> None:
+        self.tree.put(key, value)
+        self._node_ops += 1
+
+    def _get(self, key: bytes) -> Optional[bytes]:
+        return self.tree.get(key)
+
+    def _commit(self) -> tuple[bytes, int]:
+        before = self.tree.hashes_computed
+        root = self.tree.commit()
+        return root, self.tree.hashes_computed - before
+
+    def data_bytes(self) -> int:
+        return self.tree.total_bytes()
+
+
+#: IndexKind -> engine class, one per Table 2 storage choice.
+ENGINES: dict[IndexKind, type[StorageEngine]] = {
+    IndexKind.LSM: LsmEngine,
+    IndexKind.BTREE: BTreeEngine,
+    IndexKind.SKIP_LIST: SkipListEngine,
+    IndexKind.LSM_MPT: MptEngine,
+    IndexKind.LSM_MBT: MbtEngine,
+    IndexKind.BTREE_MERKLE: BTreeMerkleEngine,
+}
+
+#: Config-friendly aliases accepted wherever an index kind is named.
+_ALIASES = {
+    "lsm": IndexKind.LSM,
+    "btree": IndexKind.BTREE,
+    "b-tree": IndexKind.BTREE,
+    "skiplist": IndexKind.SKIP_LIST,
+    "skip-list": IndexKind.SKIP_LIST,
+    "lsm+mpt": IndexKind.LSM_MPT,
+    "mpt": IndexKind.LSM_MPT,
+    "lsm+mbt": IndexKind.LSM_MBT,
+    "mbt": IndexKind.LSM_MBT,
+    "btree+merkle": IndexKind.BTREE_MERKLE,
+    "b-tree+merkle": IndexKind.BTREE_MERKLE,
+}
+
+
+def parse_index_kind(kind: Union[IndexKind, str]) -> IndexKind:
+    """Resolve an :class:`IndexKind` or config string (e.g. ``"lsm+mpt"``)."""
+    if isinstance(kind, IndexKind):
+        return kind
+    key = kind.lower().replace(" ", "")
+    if key in _ALIASES:
+        return _ALIASES[key]
+    for member in IndexKind:
+        if member.value.replace(" ", "") == key:
+            return member
+    raise ValueError(f"unknown index kind {kind!r}; "
+                     f"known: {sorted(_ALIASES)}")
+
+
+def engine_for(kind: Union[IndexKind, str],
+               wal: bool = False) -> StorageEngine:
+    """Instantiate the engine for a Table 2 index choice.
+
+    ``wal=True`` attaches a group-committed write-ahead log journaling
+    every engine write (checkpointed at commit) — the
+    ``SystemConfig.extras["wal"]`` flag's storage side.
+    """
+    cls = ENGINES[parse_index_kind(kind)]
+    return cls(wal=WriteAheadLog() if wal else None)
+
+
+#: Every ``SystemConfig.extras`` key the systems layer understands.  A
+#: typo'd key would otherwise silently run the default engine — the same
+#: silent-misconfiguration class the hybrid spec validation closes.
+KNOWN_EXTRAS_KEYS = frozenset({"index", "wal"})
+
+
+def engine_from_config(extras: dict,
+                       default: Union[IndexKind, str, None] = None
+                       ) -> Optional[StorageEngine]:
+    """Build the engine a ``SystemConfig.extras`` mapping names.
+
+    ``extras["index"]`` wins; otherwise ``default`` is the system's
+    historical structure (``None`` = no engine, the seed behaviour).
+    ``extras["wal"]`` attaches the group-committed journal either way.
+    This is the one engine-selection path every system shares, so it
+    also rejects unknown extras keys.
+    """
+    unknown = sorted(set(extras) - KNOWN_EXTRAS_KEYS)
+    if unknown:
+        raise ValueError(f"unknown SystemConfig.extras key(s) {unknown}; "
+                         f"known: {sorted(KNOWN_EXTRAS_KEYS)}")
+    index = extras.get("index", default)
+    if index is None:
+        return None
+    return engine_for(index, wal=bool(extras.get("wal")))

@@ -24,7 +24,7 @@ from ..concurrency.serial import SerialExecutor
 from ..consensus.raft import RaftConfig, RaftGroup
 from ..sim.kernel import Environment, Event, subscribe
 from ..sim.resources import Resource
-from ..storage.btree import BPlusTree
+from ..storage.engine import engine_from_config
 from ..txn.state import VersionedStore
 from ..txn.transaction import Transaction
 from .base import SystemConfig, TransactionalSystem
@@ -58,8 +58,7 @@ class _ApplyLoop:
     def _got(self, ev: Event) -> None:
         _index, self.txn = ev._value
         system = self.system
-        serve = self.node.disk.serve_event(
-            system.costs.raft_apply + system.costs.store_put)
+        serve = self.node.disk.serve_event(system._apply_cost)
         serve.callbacks.append(self._applied)
 
     def _applied(self, _ev: Event) -> None:
@@ -68,10 +67,28 @@ class _ApplyLoop:
         system._version += 1
         # Single consensus order == serial execution: run the
         # transaction (including any logic) against the state machine.
+        # Writes mirror into the storage engine via the state facade.
         system.executor.execute(txn, system._version)
-        for key, value in txn.write_set.items():
-            system.btree.put(key.encode(), value)
-        waiter = system._waiters.pop(txn.txn_id, None)
+        # Engine commit per applied entry (etcd has no blocks; the WAL
+        # group commit and any authenticated-index digests fold here).
+        result = system.state.commit(system._version)
+        index_cost = system.costs.index_commit_time(
+            result.hashes_computed, result.node_ops)
+        if index_cost > 0.0:
+            # Authenticated index: the measured digest work extends the
+            # serialized apply (plain engines charge nothing — the
+            # default fast path resolves the waiter directly).
+            serve = self.node.disk.serve_event(index_cost)
+            serve.callbacks.append(self._index_folded)
+            return
+        self._resolve()
+
+    def _index_folded(self, _ev: Event) -> None:
+        self._resolve()
+
+    def _resolve(self) -> None:
+        txn = self.txn
+        waiter = self.system._waiters.pop(txn.txn_id, None)
         if waiter is not None and not waiter.triggered:
             waiter.succeed(txn)
         self._next(None)
@@ -171,9 +188,18 @@ class EtcdSystem(TransactionalSystem):
                        max_batch=self.costs.raft_max_batch,
                        message_kind="raft:etcd"),
             rng=self.rng)
-        self.state = VersionedStore()
-        self.btree = BPlusTree(order=64)       # BoltDB state machine
+        # Storage engine (Table 2: etcd = B-tree / BoltDB).  The default
+        # wraps the same BPlusTree the model always used; an
+        # ``extras["index"]`` override swaps in any other Table 2 choice,
+        # and ``extras["wal"]`` journals writes through the group-committed
+        # WAL, charging one wal_sync share per applied entry.
+        self.engine = engine_from_config(self.config.extras, default="btree")
+        self.btree = self.engine.tree         # BoltDB state machine
+        wal = self.engine.wal is not None
+        self.state = VersionedStore(engine=self.engine)
         self.executor = SerialExecutor(self.state)
+        self._apply_cost = (self.costs.raft_apply + self.costs.store_put
+                            + (self.costs.wal_sync if wal else 0.0))
         self._version = 0
         # Serialized apply loop (etcd applies committed entries in order on
         # a single goroutine) and serialized read path per node.
@@ -187,7 +213,8 @@ class EtcdSystem(TransactionalSystem):
         for key, value in records.items():
             self._version += 1
             self.state.put(key, value, self._version)
-            self.btree.put(key.encode(), value)
+        # writes mirrored into the engine above; one batched genesis commit
+        self.state.commit(self._version)
 
     # -- writes ------------------------------------------------------------------
 

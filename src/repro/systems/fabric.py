@@ -29,7 +29,9 @@ from typing import Optional
 
 from ..adt.mbt import MerkleBucketTree
 from ..concurrency.occ import OccSimulator, OccValidator, endorsements_consistent
+from ..storage.engine import MbtEngine, engine_from_config
 from ..consensus.sharedlog import OrderingService, SharedLogConfig
+from ..crypto.hashing import NULL_HASH
 from ..sim.kernel import Environment, Event
 from ..sim.resources import Resource
 from ..txn.ledger import Ledger, envelope_size
@@ -43,16 +45,21 @@ __all__ = ["FabricSystem"]
 class _Peer:
     """One endorsing/committing peer with its own state and ledger."""
 
-    def __init__(self, system: "FabricSystem", node, state_tree=None):
+    def __init__(self, system: "FabricSystem", node, engine=None):
         self.system = system
         self.node = node
-        self.state = VersionedStore()
+        # Writes mirror into the peer's storage engine (Table 2 index
+        # choice) via the versioned facade; the engine folds once per
+        # committed block.
+        self.engine = engine
+        self.state = VersionedStore(engine=engine)
         self.simulator = OccSimulator(self.state)
         self.validator = OccValidator(self.state)
-        # Optional real Merkle Bucket Tree (Fabric v0.6 state organization):
-        # writes stage per committed txn, fold into the root once per block.
-        self.state_tree = state_tree
-        self.ledger = Ledger(state=state_tree)
+        # Back-compat alias: the real Merkle Bucket Tree when the peer
+        # runs the Fabric v0.6 state organization (real_state mode).
+        self.state_tree = getattr(engine, "tree", None) \
+            if engine is not None and engine.authenticated else None
+        self.ledger = Ledger()
         self.validation_thread = Resource(system.env, 1)
         self.query_pool = Resource(system.env,
                                    system.costs.fabric_query_pool)
@@ -141,11 +148,23 @@ class FabricSystem(TransactionalSystem):
         super().__init__(env, config)
         self.real_state = real_state
         peer_nodes = self._new_nodes(self.config.num_nodes, "peer")
-        # Only the reference peer carries the real MBT (replicas would
-        # compute the identical root — pure wall-clock waste).
+        # Storage engine (Table 2: Fabric v2 = plain LSM, v0.6 = LSM+MBT).
+        # An explicit ``extras["index"]`` choice runs the real structure
+        # and charges its measured commit deltas once per block; legacy
+        # ``real_state=True`` maintains the v0.6 MBT silently (roots
+        # only, no charge), preserving the seed behaviour.  Only the
+        # reference peer carries the engine (replicas would compute the
+        # identical structure — pure wall-clock waste).
+        ref_engine = engine_from_config(self.config.extras)
+        self._measured_index = ref_engine is not None
+        if ref_engine is None and real_state:
+            ref_engine = MbtEngine(tree=MerkleBucketTree())
+        self._wal_cost = (self.costs.wal_sync
+                          if ref_engine is not None
+                          and ref_engine.wal is not None else 0.0)
+        self.engine = ref_engine
         self.peers = [_Peer(self, node,
-                            state_tree=(MerkleBucketTree() if real_state
-                                        and i == 0 else None))
+                            engine=(ref_engine if i == 0 else None))
                       for i, node in enumerate(peer_nodes)]
         # Endorsement policy: how many peers must endorse (default: all).
         self.endorsement_policy = (endorsement_policy
@@ -178,10 +197,8 @@ class FabricSystem(TransactionalSystem):
         for peer in self.peers:
             for key, value in records.items():
                 peer.state.put(key, value, 0)
-            if peer.state_tree is not None:
-                for key, value in records.items():
-                    peer.state_tree.stage(key.encode(), value)
-                peer.state_tree.commit()  # one batched genesis commit
+            # writes mirrored into the engine; one batched genesis commit
+            peer.state.commit(0)
 
     # -- update path -------------------------------------------------------------------
 
@@ -277,13 +294,24 @@ class FabricSystem(TransactionalSystem):
                     ok = peer.validator.validate_and_commit(copy, block_version)
                 if ok:
                     committed.append(txn)
-                    if peer.state_tree is not None:
-                        for key, value in txn.write_set.items():
-                            peer.ledger.stage_write(key.encode(), value)
                     yield peer.validation_thread.serve_event(
                         self.costs.fabric_commit_per_txn)
+            # One batched engine commit per block (committed writes were
+            # mirrored through the validator); a configured authenticated
+            # index charges its measured digest delta on the serialized
+            # validation thread — the Fig. 12 gap on the Fabric path.
+            result = peer.state.commit(block_version)
+            if result is not None and self._measured_index:
+                index_cost = (self.costs.index_commit_time(
+                    result.hashes_computed, result.node_ops)
+                    + self._wal_cost)  # block's group-committed sync
+                if index_cost > 0.0:
+                    yield peer.validation_thread.serve_event(index_cost)
+            state_root = (result.root
+                          if result is not None and peer.engine.authenticated
+                          else NULL_HASH)
             peer.ledger.append_block(
-                txns, timestamp=self.env.now,
+                txns, timestamp=self.env.now, state_root=state_root,
                 endorsements_per_txn=self.endorsement_policy)
             peer.blocks_committed += 1
             if is_reference:

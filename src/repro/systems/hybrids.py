@@ -23,16 +23,18 @@ from ..consensus.pow import PowConfig, PowNetwork
 from ..consensus.raft import RaftConfig, RaftGroup
 from ..consensus.sharedlog import OrderingService, SharedLogConfig
 from ..consensus.tendermint import TendermintConfig, TendermintGroup
-from ..core.taxonomy import (ConcurrencyModel, IndexKind, SystemProfile,
+from ..core.taxonomy import (ConcurrencyModel, SystemProfile,
                              profile as lookup_profile)
+from ..crypto.hashing import NULL_HASH
 from ..sim.kernel import Environment, Event, subscribe
 from ..sim.resources import Resource, Store
+from ..storage.engine import engine_from_config
 from ..txn.ledger import Ledger
 from ..txn.state import VersionedStore
 from ..txn.transaction import AbortReason, OpType, Transaction, TxnStatus
 from .base import SystemConfig, TransactionalSystem
 
-__all__ = ["HybridSystem", "HYBRID_SPECS", "build_hybrid"]
+__all__ = ["HybridSystem", "HYBRID_SPECS", "KNOWN_SPEC_KEYS", "build_hybrid"]
 
 
 class _Submission:
@@ -142,6 +144,18 @@ HYBRID_SPECS: dict[str, dict] = {
     },
 }
 
+#: Every key a hybrid ``spec`` may carry (union across backends).  A
+#: typo'd key used to run silently with defaults; it now raises.
+KNOWN_SPEC_KEYS = frozenset({
+    "backend", "commit_serial_cost", "index",
+    # sharedlog
+    "block_max_items", "block_timeout",
+    # pbft
+    "batch_window", "max_batch",
+    # tendermint / pow
+    "block_interval", "max_block_txns", "skip_empty_blocks",
+})
+
 
 class HybridSystem(TransactionalSystem):
     """A taxonomy-profile-driven simulated transactional system."""
@@ -154,9 +168,26 @@ class HybridSystem(TransactionalSystem):
         self.name = profile.name
         self.spec = dict(HYBRID_SPECS.get(profile.name, {}))
         if spec:
+            unknown = sorted(set(spec) - KNOWN_SPEC_KEYS)
+            if unknown:
+                raise ValueError(
+                    f"unknown hybrid spec key(s) {unknown}; "
+                    f"known: {sorted(KNOWN_SPEC_KEYS)}")
             self.spec.update(spec)
         self.servers = self._new_nodes(self.config.num_nodes, "node")
-        self.state = VersionedStore()
+        # Storage engine from the profile's Table 2 index column (the
+        # builder honouring the storage dimension); ``spec["index"]`` or
+        # ``extras["index"]`` swap it per run.  The engine's *measured*
+        # commit deltas replace the old per-payload index-cost
+        # calibration constants: plain indexes charge nothing (their
+        # apply work is inside commit_serial_cost), authenticated ones
+        # charge index_commit_time(hashes) once per sealed block.
+        default_index = self.spec.get("index", profile.index)
+        self.engine = engine_from_config(self.config.extras,
+                                         default=default_index)
+        self.state = VersionedStore(engine=self.engine)
+        self._wal_cost = (self.costs.wal_sync
+                          if self.engine.wal is not None else 0.0)
         self.simulator = OccSimulator(self.state)
         self.validator = OccValidator(self.state)
         self.ledger = Ledger()
@@ -213,24 +244,13 @@ class HybridSystem(TransactionalSystem):
         else:
             raise ValueError(f"unknown backend {kind!r}")
 
-    # -- index cost --------------------------------------------------------------
-
-    def _index_cost(self, payload: int) -> float:
-        index = self.profile.index
-        if index in (IndexKind.LSM_MPT,):
-            return self.costs.mpt_update_time(payload)
-        if index in (IndexKind.LSM_MBT,):
-            # fixed-scale bucket tree: a handful of constant-size hashes
-            return 6 * self.costs.hash_time(64)
-        if index is IndexKind.BTREE_MERKLE:
-            return self.costs.hash_time(payload) + 4 * self.costs.hash_time(64)
-        return 0.0
-
     # -- loading -------------------------------------------------------------------
 
     def load(self, records: dict[str, bytes]) -> None:
         for key, value in records.items():
             self.state.put(key, value, 0)
+        # writes mirrored into the engine above; one batched genesis commit
+        self.state.commit(0)
 
     # -- submission -------------------------------------------------------------------
 
@@ -272,14 +292,20 @@ class HybridSystem(TransactionalSystem):
     # -- commit pipeline -----------------------------------------------------------------
 
     def _commit_loop(self):
-        """Apply ordered transactions on the local database, in order."""
+        """Apply ordered transactions on the local database, in order.
+
+        Committed writes mirror into the storage engine via the state
+        facade; every 64 versions the engine folds in one batched commit
+        whose *measured* digest delta is charged on the commit thread —
+        zero for plain indexes, so the authenticated-vs-plain gap is
+        exactly the engine's hash work (Fig. 12 on any backend).
+        """
         node = self.servers[0]
         thread = self.commit_threads[node.name]
         serial_cost = self.spec.get("commit_serial_cost", 100e-6)
         while True:
             txn, done = yield self._commit_stream.get()
-            cost = serial_cost + self._index_cost(txn.payload_size)
-            yield thread.serve_event(cost)
+            yield thread.serve_event(serial_cost)
             self._version += 1
             if self.profile.concurrency is \
                     ConcurrencyModel.CONCURRENT_EXECUTION_SERIAL_COMMIT:
@@ -287,7 +313,16 @@ class HybridSystem(TransactionalSystem):
             else:
                 self._execute(txn, self._version)
             if self._version % 64 == 0:
-                self.ledger.append_block([txn], timestamp=self.env.now)
+                result = self.state.commit(self._version)
+                index_cost = (self.costs.index_commit_time(
+                    result.hashes_computed, result.node_ops)
+                    + self._wal_cost)  # block's group-committed sync
+                if index_cost > 0.0:
+                    yield thread.serve_event(index_cost)
+                self.ledger.append_block(
+                    [txn], timestamp=self.env.now,
+                    state_root=(result.root if self.engine.authenticated
+                                else NULL_HASH))
             if txn.status is TxnStatus.PENDING:
                 txn.mark_committed()
             done.succeed(txn)

@@ -27,6 +27,7 @@ from ..consensus.ibft import IbftConfig, IbftGroup
 from ..consensus.raft import RaftConfig, RaftGroup
 from ..sim.kernel import Environment, Event, WakeableQueue
 from ..sim.resources import Resource, Store
+from ..storage.engine import MptEngine, engine_from_config
 from ..txn.ledger import Ledger
 from ..txn.state import VersionedStore
 from ..txn.transaction import AbortReason, Transaction
@@ -101,7 +102,30 @@ class QuorumSystem(TransactionalSystem):
                 IbftConfig(block_interval=self.costs.quorum_block_interval,
                            message_kind="ibft:quorum"),
                 rng=self.rng)
-        self.state = VersionedStore()
+        # Storage engine (Table 2 index column): an explicit
+        # ``extras["index"]`` choice runs the real structure and charges
+        # its *measured* commit deltas (EVM-only per-txn cost, one
+        # index_commit_time charge per block — zero for plain indexes:
+        # the Fig. 12 ablation).  Without it, the legacy modes apply:
+        # the per-record Fig. 11b MPT fit (optionally maintaining a real
+        # trie under real_state), or the Sec. 6 batched_validation
+        # ablation (fit at proposal, measured deltas at validation).
+        self.engine = engine_from_config(self.config.extras)
+        self._engine_mode = self.engine is not None
+        if self._engine_mode:
+            self._fit_index = False    # EVM-only per-txn costs
+            self._measured = self.engine.authenticated
+        else:
+            self.engine = MptEngine() if real_state else None
+            self._fit_index = True     # per-record Fig. 11b reconstruction
+            self._measured = batched_validation
+        self.state = VersionedStore(engine=self.engine)
+        # One group-committed fsync share per sealed block when the
+        # extras["wal"] journal is attached (DB-side systems charge it
+        # per applied entry instead).
+        self._wal_cost = (self.costs.wal_sync
+                          if self.engine is not None
+                          and self.engine.wal is not None else 0.0)
         self.executor = SerialExecutor(self.state)
         # real_state=True maintains an actual MPT alongside the calibrated
         # cost model: writes are staged per transaction and batch-committed
@@ -117,8 +141,9 @@ class QuorumSystem(TransactionalSystem):
         # leader publishes each block's measured hash delta and a
         # follower blocks on its stream until the delta is available.
         self._delta_streams: dict[str, Store] = {}
-        self.state_trie = MerklePatriciaTrie() if real_state else None
-        self.ledger = Ledger(state=self.state_trie)
+        self.state_trie = (self.engine.trie
+                           if isinstance(self.engine, MptEngine) else None)
+        self.ledger = Ledger()
         # Wake-on-proposal ingress: the block producer parks on this
         # queue while the txpool is empty and is woken by the first
         # arriving transaction at the same simulated time.
@@ -129,7 +154,7 @@ class QuorumSystem(TransactionalSystem):
         self.blocks_minted = 0
         self.spawn(self._block_producer(), name="quorum-producer")
         for node in self.servers[1:]:
-            if batched_validation:
+            if self._measured:
                 self._delta_streams[node.name] = Store(env)
             self.spawn(self._follower_exec_loop(node),
                        name=f"quorum-exec:{node.name}")
@@ -139,20 +164,23 @@ class QuorumSystem(TransactionalSystem):
     def load(self, records: dict[str, bytes]) -> None:
         for key, value in records.items():
             self.state.put(key, value, 0)
-        if self.state_trie is not None:
-            for key, value in records.items():
-                self.state_trie.stage(key.encode(), value)
-            self.state_trie.commit()  # one batched genesis commit
+        # writes mirrored into the engine above; one batched genesis commit
+        self.state.commit(0)
 
     # -- cost helpers ------------------------------------------------------------------
 
     def _exec_cost(self, txn: Transaction) -> float:
-        """Serial EVM execution + MPT path rebuild for one transaction."""
-        cost = 0.0
+        """Serial EVM execution (+ fitted MPT path rebuild) per transaction.
+
+        With a configured engine the index cost is *measured* at the
+        block commit instead, so only the EVM term is charged here.
+        """
+        cost = self.costs.evm_exec_time(txn.payload_size)
+        if not self._fit_index:
+            return cost
         writes = txn.write_keys or [op.key for op in txn.ops]
         per_key_payload = (txn.payload_size // max(1, len(writes))
                            if txn.payload_size else 8)
-        cost += self.costs.evm_exec_time(txn.payload_size)
         for _key in writes:
             cost += self.costs.mpt_update_time(per_key_payload)
         return cost
@@ -195,46 +223,63 @@ class QuorumSystem(TransactionalSystem):
                 continue
             for txn, _done in batch:
                 txn.phases["consensus"] = self.env.now - consensus_start
-            # Phase 3: serial commit — validation re-execution + MPT
-            # reconstruction (the state transition becomes final here).
+            # Phase 3: serial commit — validation re-execution + index
+            # maintenance (the state transition becomes final here).
             commit_start = self.env.now
-            batched = self.batched_validation
+            measured = self._measured
+            # Engine-mode clients (plain or authenticated) get their
+            # receipt at the block boundary — both Fig. 12 ablation arms
+            # release at the same point, so the A/B gap is *only* the
+            # measured index-commit charge.  The legacy fit modes keep
+            # the seed's per-transaction release.
+            late_release = measured or self._engine_mode
             for txn, done in batch:
                 # Per-record-fit path charges EVM + per-write MPT
-                # reconstruction; the batched-validation ablation
-                # charges EVM only here and the MPT as one measured
-                # batch commit below (Sec. 6: each touched path hashed
-                # once per block, not once per write).
-                mpt_cost = (self.costs.evm_exec_time(txn.payload_size)
-                            if batched else self._exec_cost(txn))
-                yield evm.serve_event(self.costs.sig_verify + mpt_cost)
+                # reconstruction; the measured paths (batched-validation
+                # ablation / configured engine) charge EVM only here and
+                # the index as one measured batch commit below (Sec. 6:
+                # each touched path hashed once per block, not once per
+                # write).  Writes mirror into the engine via the state
+                # facade as the executor applies them.
+                index_cost = (self.costs.evm_exec_time(txn.payload_size)
+                              if measured else self._exec_cost(txn))
+                yield evm.serve_event(self.costs.sig_verify + index_cost)
                 self._version += 1
                 self.executor.execute(txn, self._version)
-                if self.state_trie is not None:
-                    for key, value in txn.write_set.items():
-                        self.ledger.stage_write(key.encode(), value)
-                if not batched:
+                if not late_release:
                     txn.phases["commit"] = self.env.now - commit_start
                     self._finish(done, txn)
-            if batched:
-                # ONE batched MPT commit, its simulated cost wired from
-                # the real trie's hashes_computed delta.
-                before = self.state_trie.hashes_computed
-                root = self.state_trie.commit()
-                delta = self.state_trie.hashes_computed - before
+            # ONE batched engine commit per block (no simulated cost in
+            # the fit modes — the per-record fit already charged it).
+            result = self.state.commit(self._version)
+            if measured:
+                # Simulated cost wired from the engine's measured
+                # hashes_computed delta (zero for a plain engine — the
+                # authenticated-vs-plain Fig. 12 gap is exactly this).
+                delta = result.hashes_computed
                 self.mpt_hashes_charged += delta
                 for stream in self._delta_streams.values():
-                    stream.put(delta)
-                yield evm.serve_event(self.costs.mpt_commit_time(delta))
+                    stream.put((delta, result.node_ops))
+                if self._engine_mode:
+                    yield evm.serve_event(
+                        self.costs.index_commit_time(delta, result.node_ops)
+                        + self._wal_cost)
+                else:
+                    # legacy Sec. 6 ablation: crypto-only charge
+                    yield evm.serve_event(self.costs.mpt_commit_time(delta))
+            elif self._engine_mode and self._wal_cost:
+                # plain engine + WAL flag: the block's group commit
+                yield evm.serve_event(self._wal_cost)
+            if late_release:
                 for txn, done in batch:
                     txn.phases["commit"] = self.env.now - commit_start
                     self._finish(done, txn)
+            root = result.root if (result is not None
+                                   and self.engine.authenticated) else None
+            if root is not None:
                 self.ledger.append_block(block_txns, timestamp=self.env.now,
                                          state_root=root)
             else:
-                # append_block batch-commits the staged MPT writes (one
-                # hash per touched path for the whole block) into the
-                # state root.
                 self.ledger.append_block(block_txns, timestamp=self.env.now)
             self.blocks_minted += 1
 
@@ -249,6 +294,15 @@ class QuorumSystem(TransactionalSystem):
         applied = self.group.replicas[node.name].applied
         evm = self.evm_threads[node.name]
         deltas = self._delta_streams.get(node.name)
+        # engine mode charges node I/O per measured hash (plus node_ops
+        # at index_node_op, mirroring the leader); the legacy
+        # batched_validation ablation charges the crypto share only
+        if self._engine_mode:
+            def charge(hashes, node_ops):
+                return self.costs.index_commit_time(hashes, node_ops)
+        else:
+            def charge(hashes, node_ops):
+                return self.costs.mpt_commit_time(hashes)
         while True:
             _index, item = yield applied.get()
             blocks = item if isinstance(item, list) and item \
@@ -265,8 +319,8 @@ class QuorumSystem(TransactionalSystem):
                         yield evm.serve_event(
                             self.costs.sig_verify
                             + self.costs.evm_exec_time(txn.payload_size))
-                    delta = yield deltas.get()
-                    yield evm.serve_event(self.costs.mpt_commit_time(delta))
+                    delta, node_ops = yield deltas.get()
+                    yield evm.serve_event(charge(delta, node_ops))
 
     # -- queries ---------------------------------------------------------------------------------
 

@@ -99,23 +99,14 @@ class Block:
 class Ledger:
     """An append-only chain of blocks with integrity verification.
 
-    A ledger may carry an authenticated ``state`` structure (an
-    :class:`repro.adt.mpt.MerklePatriciaTrie` or
-    :class:`repro.adt.mbt.MerkleBucketTree`): writes staged on it via
-    ``stage()`` are folded with **one batched commit per block** when the
-    block is sealed, and the resulting root lands in the block header —
-    each touched path is hashed once per block instead of once per write.
+    Authenticated state lives in the system's storage engine
+    (:mod:`repro.storage.engine`); the sealing system commits its engine
+    once per block and stamps the resulting root via the ``state_root``
+    argument of :meth:`append_block`.
     """
 
-    def __init__(self, state=None):
+    def __init__(self):
         self.blocks: list[Block] = []
-        #: optional authenticated state (stage()/commit() protocol)
-        self.state = state
-
-    def stage_write(self, key: bytes, value: bytes) -> None:
-        """Stage a state write for the next sealed block (if state is on)."""
-        if self.state is not None:
-            self.state.stage(key, value)
 
     @property
     def height(self) -> int:
@@ -128,15 +119,7 @@ class Ledger:
     def append_block(self, txns: list[Transaction], timestamp: float = 0.0,
                      state_root: bytes = NULL_HASH,
                      endorsements_per_txn: int = 0) -> Block:
-        """Seal ``txns`` into the next block and append it.
-
-        With an attached ``state`` structure and no explicit
-        ``state_root``, all writes staged since the previous block are
-        committed in one batch and the fresh root is stamped into the
-        header.
-        """
-        if self.state is not None and state_root == NULL_HASH:
-            state_root = self.state.commit()
+        """Seal ``txns`` into the next block and append it."""
         header = BlockHeader(
             number=self.height,
             prev_hash=self.tip_hash,

@@ -3,20 +3,35 @@
 Each key carries a monotonically increasing version (the block/commit
 sequence that last wrote it) — exactly what Fabric's MVCC validation and
 TiDB's snapshot reads compare against.
+
+Since the storage-engine refactor, ``VersionedStore`` is a *versioned
+facade* over an optional :class:`repro.storage.engine.StorageEngine`: the
+store keeps the (value, version) map the concurrency layers read (no
+engine charges any simulated cost on that path), and mirrors every write
+into the engine — the real index structure of the system's Table 2
+storage choice.  ``commit(version)`` folds the engine's pending writes
+once per block and returns the measured
+:class:`~repro.storage.engine.CommitResult` the system charges through
+the cost model.  With no engine attached the store behaves exactly as
+before (plain dicts; the seed systems' default).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..storage.engine import CommitResult, StorageEngine
 
 __all__ = ["VersionedStore"]
 
 
 class VersionedStore:
-    """In-memory map of key -> (value, version)."""
+    """In-memory map of key -> (value, version), optionally engine-backed."""
 
-    def __init__(self):
+    def __init__(self, engine: Optional["StorageEngine"] = None):
         self._data: dict[str, tuple[bytes, int]] = {}
+        self.engine = engine
         self.writes = 0
         self.reads = 0
 
@@ -35,10 +50,27 @@ class VersionedStore:
     def put(self, key: str, value: bytes, version: int) -> None:
         self.writes += 1
         self._data[key] = (value, version)
+        if self.engine is not None:
+            self.engine.put(key, value)
 
     def apply_write_set(self, write_set: dict[str, bytes], version: int) -> None:
+        data = self._data
         for key, value in write_set.items():
-            self.put(key, value, version)
+            self.writes += 1
+            data[key] = (value, version)
+        if self.engine is not None:
+            self.engine.apply_write_set(write_set)
+
+    def commit(self, version: int = 0) -> Optional["CommitResult"]:
+        """Fold the engine's pending writes (one batch per block).
+
+        Returns the engine's measured :class:`CommitResult`, or ``None``
+        when no engine is attached.  Pure bookkeeping — schedules no
+        simulation events; the *caller* charges the deltas.
+        """
+        if self.engine is None:
+            return None
+        return self.engine.commit(version)
 
     def __contains__(self, key: str) -> bool:
         return key in self._data

@@ -1,0 +1,122 @@
+"""Tests for the Merkle B+ tree (FalconDB-style authenticated index)."""
+
+import pytest
+
+from repro.adt.btm import MerkleBTree
+from repro.crypto.hashing import NULL_HASH
+
+
+def _populated(n: int = 500, order: int = 8) -> MerkleBTree:
+    tree = MerkleBTree(order=order)
+    for i in range(n):
+        tree.put(b"user%06d" % i, b"value-%d" % i)
+    tree.commit()
+    return tree
+
+
+def test_requires_min_order():
+    with pytest.raises(ValueError):
+        MerkleBTree(order=2)
+
+
+def test_put_get_overwrite_and_len():
+    tree = MerkleBTree(order=4)
+    tree.put(b"b", b"1")
+    tree.put(b"a", b"2")
+    tree.put(b"b", b"3")
+    assert tree.get(b"b") == b"3"
+    assert tree.get(b"a") == b"2"
+    assert tree.get(b"zz") is None
+    assert len(tree) == 2
+    assert b"a" in tree and b"zz" not in tree
+
+
+def test_non_bytes_rejected():
+    tree = MerkleBTree()
+    with pytest.raises(TypeError):
+        tree.put("str-key", b"v")
+
+
+def test_items_sorted_across_splits():
+    tree = _populated(300, order=4)   # small order forces deep splits
+    keys = [k for k, _ in tree.items()]
+    assert keys == sorted(keys)
+    assert len(keys) == 300
+
+
+def test_commit_hashes_only_dirty_paths():
+    tree = _populated(500, order=8)
+    baseline = tree.hashes_computed
+    tree.put(b"user%06d" % 42, b"updated")
+    tree.commit()
+    # one leaf-to-root path re-hashed, not the whole tree
+    assert 0 < tree.hashes_computed - baseline < tree.node_count()
+
+
+def test_root_deterministic_and_order_insensitive():
+    a = MerkleBTree(order=6)
+    b = MerkleBTree(order=6)
+    items = [(b"k%04d" % i, b"v%d" % i) for i in range(200)]
+    for k, v in items:
+        a.put(k, v)
+    for k, v in reversed(items):
+        b.put(k, v)
+    # same final contents but different insertion order: values agree
+    assert dict(a.items()) == dict(b.items())
+    # the same stream re-applied lands on the byte-identical root
+    c = MerkleBTree(order=6)
+    for k, v in items:
+        c.put(k, v)
+    assert a.commit() == c.commit()
+    assert a.root != NULL_HASH
+
+
+def test_root_changes_on_update():
+    tree = _populated(100)
+    before = tree.root
+    tree.put(b"user%06d" % 7, b"tampered")
+    assert tree.commit() != before
+
+
+def test_prove_verify_roundtrip():
+    tree = _populated(500, order=8)
+    root = tree.root
+    for i in (0, 42, 255, 499):
+        key, value = b"user%06d" % i, b"value-%d" % i
+        proof = tree.prove(key)
+        assert MerkleBTree.verify_proof(key, value, proof, root)
+
+
+def test_proof_rejects_wrong_value_key_and_root():
+    tree = _populated(500, order=8)
+    root = tree.root
+    key = b"user%06d" % 42
+    proof = tree.prove(key)
+    assert not MerkleBTree.verify_proof(key, b"forged", proof, root)
+    assert not MerkleBTree.verify_proof(b"user999999", b"v", proof, root)
+    assert not MerkleBTree.verify_proof(key, b"value-42", proof,
+                                        NULL_HASH)
+    # a tampered sibling digest breaks the chain
+    if proof["groups"]:
+        group, idx = proof["groups"][0]
+        group[(idx + 1) % len(group)] = NULL_HASH
+        assert not MerkleBTree.verify_proof(key, b"value-42", proof, root)
+
+
+def test_proof_from_stale_root_rejected():
+    tree = _populated(200, order=8)
+    old_root = tree.root
+    tree.put(b"user%06d" % 3, b"new-value")
+    tree.commit()
+    proof = tree.prove(b"user%06d" % 3)
+    assert MerkleBTree.verify_proof(b"user%06d" % 3, b"new-value",
+                                    proof, tree.root)
+    assert not MerkleBTree.verify_proof(b"user%06d" % 3, b"new-value",
+                                        proof, old_root)
+
+
+def test_total_bytes_and_overhead_accounting():
+    tree = _populated(100)
+    raw = sum(len(k) + len(v) for k, v in tree.items())
+    assert tree.total_bytes() > raw          # digests + length prefixes
+    assert tree.node_count() >= 1

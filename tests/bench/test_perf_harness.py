@@ -47,7 +47,8 @@ def test_cli_perf_smoke_writes_trajectory(tmp_path, capsys):
     assert len(files) == 1
     data = json.loads(files[0].read_text())
     assert set(data["benchmarks"]) == {"kernel", "mpt", "mbt", "zipf", "fabric",
-                                       "driver", "scale", "db-etcd", "db-tidb"}
+                                       "driver", "scale", "db-etcd", "db-tidb",
+                                       "storage-mpt", "storage-lsm"}
 
 
 def test_cli_perf_budget_violation_fails(tmp_path, capsys):

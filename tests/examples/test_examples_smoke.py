@@ -1,0 +1,41 @@
+"""Headless smoke runs of the examples (the builder-API drift gate).
+
+The examples are the public face of the builder API; running them at
+reduced scale in the tier-1 suite (and the CI examples job) means a
+builder/signature change that would break them cannot land silently.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO / "examples"
+
+
+def _run_example(name: str, timeout: float = 120.0):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLES_SCALE"] = "smoke"
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout, env=env,
+        cwd=str(REPO))
+
+
+@pytest.mark.parametrize("name,expect", [
+    ("quickstart.py", "YCSB uniform update"),
+    ("design_space_explorer.py", "Design-space sweep"),
+])
+def test_example_runs_headless(name, expect):
+    proc = _run_example(name)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert expect in proc.stdout
+    # every measured line must carry a real number, not a crash mid-sweep
+    assert "Traceback" not in proc.stderr

@@ -13,6 +13,12 @@ Every DB-side point (etcd, tikv, tidb, spanner) carries a **second seed**
 (the ``*-seed23`` entries): a dispatch-order regression that happens to
 cancel out at one seed cannot hide behind a single-seed coincidence.
 
+The storage-engine points (PR 5) cover every Table 2 ``IndexKind``
+through the pluggable engine layer — swapped engines are outcome-changing
+by design (measured index-commit deltas), so each carries its own
+fingerprint while the default-config points stay byte-identical to the
+pre-engine seed values.
+
 A mismatch means simulation *semantics* drifted — event ordering, batch
 boundaries, or timer behaviour — not just wall-clock performance.
 """
@@ -101,6 +107,42 @@ FINGERPRINTS = {
         dict(system_kwargs={"spec": {"skip_empty_blocks": True}}),
         {"tps": "1111.1111111110963", "measured": 300,
          "latency": "0.27394187432021866", "aborted": 0},
+    ),
+    # ---- storage-engine points (PR 5) ----------------------------------
+    # Together with the defaults above, every Table 2 IndexKind carries a
+    # seeded fingerprint: LSM (quorum-lsm; also tikv's default engine),
+    # BTREE (etcd's default), SKIP_LIST (veritas' profile engine),
+    # LSM_MPT (quorum-mpt), LSM_MBT (fabric-mbt), BTREE_MERKLE
+    # (falcondb).  The quorum pair is the Fig. 12 ablation: the
+    # authenticated MPT point is measurably slower than plain LSM, the
+    # gap charged from the engine's measured hashes_computed deltas.
+    "quorum-lsm": (
+        dict(extras={"index": "lsm"}),
+        {"tps": "253.2335638216496", "measured": 300,
+         "latency": "1.1846167143957715", "aborted": 0},
+    ),
+    "quorum-mpt": (
+        dict(extras={"index": "lsm+mpt"}),
+        {"tps": "248.3648000661745", "measured": 300,
+         "latency": "1.2122787892757716", "aborted": 0},
+    ),
+    "fabric-mbt": (
+        dict(extras={"index": "lsm+mbt"}),
+        {"tps": "1042.4101946938674", "measured": 300,
+         "latency": "0.21218548258315303", "aborted": 0},
+    ),
+    # FalconDB hybrid: Tendermint backend + B-tree+Merkle overlay engine
+    # built straight from its Table 2 profile row.
+    "falcondb": (
+        dict(),
+        {"tps": "2140.6985989574905", "measured": 300,
+         "latency": "0.0866140615719453", "aborted": 0},
+    ),
+    # Group-committed WAL on the DB-side apply path (extras["wal"]).
+    "etcd-wal": (
+        dict(extras={"wal": True}),
+        {"tps": "8264.462809917415", "measured": 300,
+         "latency": "0.008071964502307342", "aborted": 0},
     ),
 }
 

@@ -55,20 +55,58 @@ def test_every_backend_commits(backend):
     assert all(t.status is TxnStatus.COMMITTED for t in txns)
 
 
-def test_index_cost_ordering():
-    """MPT must be the most expensive state organization, plain the
-    cheapest — the Fig. 13 cost ordering."""
-    env = Environment()
-    costs = {}
-    for index in (IndexKind.LSM, IndexKind.LSM_MBT, IndexKind.BTREE_MERKLE,
+def test_index_commit_deltas_measured_not_calibrated():
+    """Index cost is now the engine's *measured* commit delta: plain
+    indexes report zero digest work, authenticated ones report real
+    hashes, and the MPT's leaf-to-root path re-hashing dominates (the
+    Fig. 12 authenticated-index gap)."""
+    from repro.sim.costs import DEFAULT_COSTS
+
+    deltas = {}
+    for index in (IndexKind.LSM, IndexKind.SKIP_LIST, IndexKind.BTREE,
+                  IndexKind.LSM_MBT, IndexKind.BTREE_MERKLE,
                   IndexKind.LSM_MPT):
+        env = Environment()
         system = HybridSystem(env, _profile(index=index),
                               SystemConfig(num_nodes=3),
                               spec={"backend": "raft"})
-        costs[index] = system._index_cost(1000)
-    assert costs[IndexKind.LSM] == 0.0
-    assert costs[IndexKind.LSM_MPT] > costs[IndexKind.BTREE_MERKLE] \
-        > costs[IndexKind.LSM_MBT] > 0
+        system.load({f"user{i:06d}": b"x" * 100 for i in range(1000)})
+        system.state.apply_write_set(
+            {f"user{i:06d}": b"y" * 100 for i in range(0, 1000, 16)}, 1)
+        deltas[index] = system.state.commit(1).hashes_computed
+    for plain in (IndexKind.LSM, IndexKind.SKIP_LIST, IndexKind.BTREE):
+        assert deltas[plain] == 0
+        assert DEFAULT_COSTS.index_commit_time(deltas[plain]) == 0.0
+    for authenticated in (IndexKind.LSM_MPT, IndexKind.LSM_MBT,
+                          IndexKind.BTREE_MERKLE):
+        assert deltas[authenticated] > 0
+        assert DEFAULT_COSTS.index_commit_time(deltas[authenticated]) > 0.0
+    assert deltas[IndexKind.LSM_MPT] == max(deltas.values())
+
+
+def test_unknown_spec_key_rejected():
+    """A typo'd spec key must raise, not silently run with defaults."""
+    env = Environment()
+    with pytest.raises(ValueError, match="commit_serial_costt"):
+        HybridSystem(env, _profile(), SystemConfig(num_nodes=3),
+                     spec={"backend": "raft", "commit_serial_costt": 1e-6})
+
+
+def test_spec_index_override_swaps_engine():
+    env = Environment()
+    system = HybridSystem(env, _profile(index=IndexKind.LSM),
+                          SystemConfig(num_nodes=3),
+                          spec={"backend": "raft", "index": "lsm+mpt"})
+    assert system.engine.kind is IndexKind.LSM_MPT
+    assert system.engine.authenticated
+
+
+def test_profile_index_drives_engine():
+    env = Environment()
+    system = build_hybrid(env, "veritas", SystemConfig(num_nodes=3))
+    assert system.engine.kind is IndexKind.SKIP_LIST
+    system = build_hybrid(env, "falcondb", SystemConfig(num_nodes=3))
+    assert system.engine.kind is IndexKind.BTREE_MERKLE
 
 
 def test_hybrid_ledger_records_blocks():

@@ -73,6 +73,23 @@ def test_db_smoke_wall_budget():
     assert tidb["wall_s"] < 2.5, tidb
 
 
+def test_chaos_smoke_wall_budget_and_determinism():
+    from repro.bench.perf import bench_chaos
+    first = bench_chaos(seed=11)
+    # One seeded fault-schedule run (partition + gray node + crash-restart
+    # with WAL replay under the continuous invariant checker): ~1s on a
+    # dev box; generous headroom for CI.  Guards the injector timers and
+    # the invariant checker — a polling checker or an unpaced chaos
+    # closed loop blows this budget.
+    assert first["wall_s"] < 8.0, first
+    assert first["checks"] > 0
+    # The digest is a seeded fingerprint over the injection log, the
+    # measured floats, and the invariant verdicts: a same-seed rerun must
+    # be byte-identical or fault semantics drifted.
+    second = bench_chaos(seed=11)
+    assert first["digest"] == second["digest"], (first, second)
+
+
 def test_storage_ablation_smoke_budget_and_direction():
     from repro.bench.perf import bench_storage
     mpt, lsm = bench_storage(scale=SMOKE, seed=7)

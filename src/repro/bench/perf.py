@@ -33,7 +33,7 @@ from .harness import BENCH, SMOKE, Scale, run_point
 
 __all__ = ["bench_kernel", "bench_mpt", "bench_mbt", "bench_zipf",
            "bench_driver", "bench_fabric", "bench_scale", "bench_db",
-           "bench_storage", "run_perf", "write_trajectory"]
+           "bench_storage", "bench_chaos", "run_perf", "write_trajectory"]
 
 
 def bench_kernel(events: int = 200_000, _timed: bool = True) -> dict:
@@ -230,6 +230,44 @@ def bench_storage(scale: Scale = BENCH, seed: int = 7) -> list[dict]:
     ]
 
 
+def bench_chaos(seed: int = 11) -> dict:
+    """Chaos-harness rate: one seeded fault-schedule run on etcd.
+
+    A fixed storm (minority partition, gray follower, engine-host
+    crash-restart with WAL replay) under the full invariant suite.  The
+    run length is set by the scenario horizon, not a ``Scale`` — the
+    wall cost is the injector timers, the continuous invariant checker,
+    and the recovery replay on top of a paced closed loop.  ``digest``
+    is the seeded fingerprint: it covers the injection log, the measured
+    floats, and the invariant verdicts, so any drift in fault semantics
+    shows up here even when throughput doesn't move.
+    """
+    from ..chaos import (CrashRestart, GrayNode, Partition, Scenario,
+                         run_chaos_point)
+    scenario = Scenario(
+        name="bench-etcd-storm",
+        steps=(
+            Partition(at=1.0, group_a=("etcd1",),
+                      group_b=("etcd0", "etcd2", "etcd3", "etcd4"),
+                      until=2.5),
+            GrayNode(at=3.0, node="etcd2", extra_delay=0.002,
+                     drop_rate=0.05, until=4.0),
+            CrashRestart(at=4.5, node="etcd0", restart_at=5.5),
+        ),
+        settle=2.5)
+    start = time.perf_counter()
+    result = run_chaos_point("etcd", scenario, seed=seed,
+                             extras={"wal": True})
+    wall = time.perf_counter() - start
+    if not result.ok:  # pragma: no cover - regression trap
+        raise AssertionError(f"chaos invariants violated: {result.violations}")
+    return {"name": "chaos", "system": "etcd", "seed": seed,
+            "scenario": scenario.name, "wall_s": round(wall, 4),
+            "txns_per_s": round(result.run.measured / wall) if wall else 0,
+            "sim_tps": result.run.tps, "measured": result.run.measured,
+            "checks": result.checks, "digest": result.digest()}
+
+
 def run_perf(scale: Scale = BENCH) -> dict:
     """Run every microbenchmark, scaled down for smoke runs."""
     small = scale.name == "smoke"
@@ -243,6 +281,7 @@ def run_perf(scale: Scale = BENCH) -> dict:
         bench_scale(scale=SMOKE if small else scale),
         *bench_db(scale=SMOKE if small else scale),
         *bench_storage(scale=SMOKE if small else scale),
+        bench_chaos(),
     ]
     return {
         "scale": scale.name,
@@ -289,5 +328,7 @@ def format_perf(report: dict) -> str:
             line += f" [{r.get('clients', 0):,d} clients]"
         if name.startswith("storage-"):
             line += f" [{r.get('index', '?')}]"
+        if name == "chaos":
+            line += f" [digest {r['digest'][:12]}]"
         lines.append(line)
     return "\n".join(lines)

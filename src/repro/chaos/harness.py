@@ -1,0 +1,151 @@
+"""One-call chaos runs: scenario + system + workload + invariants.
+
+:func:`run_chaos_point` mirrors :func:`repro.bench.harness.run_point` but
+drives the system *through* a fault schedule: the scenario is armed by
+the builder before data loading (``SystemConfig.extras["scenario"]``),
+the driver runs time-bounded to the scenario horizon, invariants are
+checked continuously and at the end, and the whole run folds into a
+:class:`ChaosResult` whose :meth:`~ChaosResult.digest` is byte-identical
+across same-seed repetitions — chaos runs are first-class citizens of the
+repo's determinism discipline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.builder import build_system
+from ..sim.kernel import Environment
+from ..systems.base import SystemConfig
+from ..workloads.driver import DriverConfig, RunResult, run_closed_loop
+from ..workloads.smallbank import SmallbankConfig, SmallbankWorkload
+from ..workloads.ycsb import YcsbConfig, YcsbWorkload
+from .invariants import Invariant, InvariantSuite, default_invariants
+from .scenario import Scenario
+
+__all__ = ["ChaosResult", "run_chaos_point", "CONSERVED_PROCEDURES"]
+
+#: The two money-moving Smallbank procedures: with the mix restricted to
+#: these, the sum of all balances is a run-long invariant.
+CONSERVED_PROCEDURES = ("send_payment", "amalgamate")
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos run: measurement + verdicts + audit trail."""
+
+    run: RunResult
+    scenario_fingerprint: str
+    injection_log: tuple[str, ...]
+    violations: tuple[str, ...]
+    invariant_names: tuple[str, ...]
+    checks: int
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def digest(self) -> str:
+        """SHA-256 over everything observable about the run.
+
+        Covers the scenario schedule, the as-fired injection log, the
+        measured numbers (exact float reprs) and the invariant verdicts
+        — two same-seed runs must produce the same digest byte for byte.
+        """
+        h = hashlib.sha256()
+        h.update(self.scenario_fingerprint.encode())
+        for line in self.injection_log:
+            h.update(line.encode())
+        run = self.run
+        h.update(repr((run.tps, run.measured, run.mean_latency,
+                       run.stats.aborted, run.timeouts)).encode())
+        for line in self.violations:
+            h.update(line.encode())
+        return h.hexdigest()
+
+
+def run_chaos_point(
+    system: str,
+    scenario: Scenario,
+    num_nodes: int = 5,
+    seed: int = 0,
+    clients: int = 8,
+    think_time: float = 0.02,
+    workload: str = "smallbank-conserved",
+    record_count: int = 200,
+    record_size: int = 64,
+    invariants: Optional[list[Invariant]] = None,
+    system_kwargs: Optional[dict] = None,
+    extras: Optional[dict] = None,
+) -> ChaosResult:
+    """Run ``system`` under ``scenario`` and check invariants.
+
+    The run is time-bounded to the scenario horizon (last heal plus the
+    settle window) rather than transaction-count-bounded, so every fault
+    window actually elapses.  Clients are *paced* (``think_time``): fault
+    schedules live on protocol timescales (heartbeats, view-change
+    timeouts — seconds), and a saturating closed loop over seconds of
+    simulated time would mean simulating 10^5 transactions per run.
+    ``workload`` is ``"smallbank-conserved"`` (money-moving procedures
+    only — conservation becomes a checked invariant), ``"smallbank"``
+    (full mix) or ``"ycsb"``.
+
+    Keyspaces default small (``record_count``): chaos runs are about
+    survival under faults, not cache behaviour, and a small hot set makes
+    the conservation sweep cheap.
+    """
+    env = Environment()
+    config = SystemConfig(num_nodes=num_nodes, seed=seed,
+                          extras={**(extras or {}), "scenario": scenario})
+    sys_obj = build_system(env, system, config, **(system_kwargs or {}))
+
+    conserved = workload == "smallbank-conserved"
+    if workload in ("smallbank", "smallbank-conserved"):
+        wl = SmallbankWorkload(SmallbankConfig(
+            num_accounts=record_count, seed=seed + 1,
+            procedures=CONSERVED_PROCEDURES if conserved else None))
+        next_txn = wl.next_transaction
+    elif workload == "ycsb":
+        wl = YcsbWorkload(YcsbConfig(record_count=record_count,
+                                     record_size=record_size,
+                                     seed=seed + 1))
+        next_txn = wl.next_update
+    else:
+        raise ValueError(f"unknown workload {workload!r}")
+
+    sys_obj.load(wl.initial_records())
+
+    suite = InvariantSuite(
+        invariants if invariants is not None
+        else default_invariants(conserved=conserved),
+        scenario)
+    suite.setup(sys_obj)
+    suite.start()
+
+    driver = DriverConfig(
+        clients=clients,
+        warmup_txns=0,                    # measure the whole stormy run
+        measure_txns=10 ** 9,             # bounded by time, not count
+        max_sim_time=scenario.horizon,
+        txn_timeout=5.0,                  # wedged proposals must not park
+        #                                   clients for the default 60 s
+        think_time=think_time,
+    )
+    run = run_closed_loop(env, sys_obj, next_txn, driver)
+    suite.finalize()
+
+    injector = getattr(sys_obj, "chaos", None)
+    log = tuple(injector.log) if injector is not None else ()
+    result = ChaosResult(
+        run=run,
+        scenario_fingerprint=scenario.fingerprint(),
+        injection_log=log,
+        violations=tuple(suite.violations),
+        invariant_names=tuple(inv.name for inv in suite.invariants),
+        checks=suite.checks,
+    )
+    result.extras["system"] = sys_obj
+    return result

@@ -15,7 +15,7 @@ quorums must prevent conflicting commits at the same sequence number.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from ..sim.costs import CostModel, DEFAULT_COSTS
 from ..sim.kernel import Environment, Event, WakeableQueue
@@ -66,7 +66,22 @@ class PbftReplica:
         self.costs = costs
         self.config = config or PbftConfig()
         self.rng = (rng or RngRegistry(0)).stream(f"pbft:{self.name}")
+        # Byzantine behaviours, all runtime-togglable (checked per batch /
+        # per heartbeat) so the chaos injector can switch them on for a
+        # scenario window: an equivocating primary sends conflicting
+        # pre-prepares, a censoring primary silently drops matching items,
+        # a silent primary stops leading entirely (heartbeats included)
+        # until the view change votes it out.
         self.byzantine_equivocator = byzantine_equivocator
+        self.censor_predicate: Optional[Callable[[Any], bool]] = None
+        self.silent = False
+        self.censored_count = 0
+        self.silenced_count = 0
+        # Proposal events a byzantine window swallowed (silenced or
+        # censored): a real byzantine primary never answers these, so
+        # they hang until the view change evicts it — _enter_view then
+        # fails them and the clients re-submit to the new primary.
+        self._swallowed: list[Event] = []
 
         self.view = 0
         self.next_seq = 1            # primary's sequence allocator
@@ -93,6 +108,18 @@ class PbftReplica:
         if self.is_primary:
             env.process(self._primary_loop(self.view),
                         name=f"pbft-primary:{self.name}")
+        node.on_recover.append(self._on_restart)
+
+    def _on_restart(self) -> None:
+        """Node restart hook: restart with a fresh liveness window.
+
+        Protocol state (executed history, view) is durable; the liveness
+        clock is not — without the reset a replica down longer than the
+        view-change timeout would immediately vote against a healthy
+        primary on its first post-restart tick.  A restarted primary's
+        parked loop resumes by itself if the view hasn't moved on.
+        """
+        self._last_preprepare = self.env.now
 
     # -- roles -----------------------------------------------------------------
 
@@ -132,6 +159,23 @@ class PbftReplica:
         self._proposal_queue.put((item, size, ev))
         return ev
 
+    def release_stranded(self) -> int:
+        """Fail every proposal a byzantine window swallowed.
+
+        Censorship is invisible to the liveness timers (the primary
+        keeps heartbeating), so no view change ever rescues these; the
+        chaos injector calls this when the window closes, modelling the
+        clients' own timeout-and-resubmit path.
+        """
+        stranded, self._swallowed = self._swallowed, []
+        failed = 0
+        for ev in stranded:
+            if not ev.triggered:
+                ev.fail(RuntimeError("proposal swallowed by byzantine "
+                                     "primary; resubmit"))
+                failed += 1
+        return failed
+
     # -- primary ---------------------------------------------------------------------
 
     def _primary_loop(self, view: int):
@@ -145,6 +189,8 @@ class PbftReplica:
             return self.view == view and not self.node.crashed
 
         def send_heartbeat() -> None:
+            if self.silent:
+                return  # silent leader: followers see a dead primary
             self._broadcast("heartbeat", {}, size=96)
 
         while (self.view == view and self.is_primary
@@ -160,6 +206,22 @@ class PbftReplica:
                 break
             if not batch:
                 continue
+            if self.silent:
+                # Proposals vanish into the silent primary; their events
+                # never fire and clients time out, until the liveness
+                # timers elect the next view.
+                self.silenced_count += len(batch)
+                self._swallowed.extend(ev for _i, _s, ev in batch)
+                continue
+            if self.censor_predicate is not None:
+                kept = [(i, s, e) for (i, s, e) in batch
+                        if not self.censor_predicate(i)]
+                self.censored_count += len(batch) - len(kept)
+                self._swallowed.extend(
+                    ev for (i, _s, ev) in batch if self.censor_predicate(i))
+                batch = kept
+                if not batch:
+                    continue
             seq = self.next_seq
             self.next_seq += 1
             items = [item for item, _size, _ev in batch]
@@ -366,6 +428,22 @@ class PbftReplica:
         for seq in list(self._batches):
             if seq > self.executed_seq:
                 del self._batches[seq]
+        # Proposals stranded at the deposed primary fail loudly so their
+        # clients re-submit to the new view — without this, a
+        # single-outstanding-propose client (quorum's block producer,
+        # wedged behind a silent or censoring primary) parks forever.
+        # Three strand points: still queued, swallowed by a byzantine
+        # window, or batched into a sequence the view change abandoned.
+        stranded = [ev for _item, _size, ev in self._proposal_queue.drain()]
+        stranded.extend(self._swallowed)
+        self._swallowed = []
+        for seq in list(self._pending_events):
+            if seq > self.executed_seq:
+                stranded.extend(self._pending_events.pop(seq))
+        for ev in stranded:
+            if not ev.triggered:
+                ev.fail(RuntimeError(
+                    f"view changed to {new_view}; resubmit"))
         if self.is_primary:
             self.env.process(self._primary_loop(new_view),
                              name=f"pbft-primary:{self.name}")

@@ -138,6 +138,24 @@ class RaftReplica:
 
         _Receiver(self).start()
         env.process(self._election_timer(), name=f"raft-timer:{self.name}")
+        node.on_recover.append(self._on_restart)
+
+    def _on_restart(self) -> None:
+        """Node restart hook (:attr:`repro.sim.node.Node.on_recover`).
+
+        Durable Raft state (log, term, vote) survives — the protocol's
+        own WAL persists it — but leadership is volatile: a restarted
+        replica comes back as a follower with a fresh liveness window,
+        and proposals queued pre-crash belonged to client sessions that
+        died with the process.  In-flight ``_pending`` waiters are left
+        to resolve (or hang for the driver's timeout) exactly as after a
+        :meth:`_step_down`.
+        """
+        self.role = FOLLOWER
+        self._last_heartbeat = self.env.now
+        for pending in self._proposal_queue.drain():
+            if not pending.event.triggered:
+                pending.event.fail(NotLeader(None))
 
     # -- helpers -----------------------------------------------------------
 

@@ -105,13 +105,27 @@ def build_system(env: Environment,
     ``target`` is a Table 2 name or a custom :class:`SystemProfile`.
     ``kwargs`` are forwarded to the concrete model (e.g.
     ``consensus="ibft"`` for Quorum, ``spec={...}`` for hybrids).
+
+    ``SystemConfig.extras["scenario"]`` may carry a
+    :class:`repro.chaos.scenario.Scenario`: the returned system then has
+    a :class:`repro.chaos.injector.ChaosInjector` armed against it (as
+    ``system.chaos``) before any data is loaded, so crash scenarios can
+    disable WAL checkpointing ahead of the genesis commit.
     """
     from ..systems.hybrids import HybridSystem
     if isinstance(target, SystemProfile):
-        return HybridSystem(env, target, config, kwargs.get("spec"))
-    name = target.lower()
-    model = DEDICATED_MODELS.get(name)
-    if model is not None:
-        return model(env, config, **kwargs)
-    return HybridSystem(env, lookup_profile(name), config,
-                        kwargs.get("spec"))
+        sys_obj = HybridSystem(env, target, config, kwargs.get("spec"))
+    else:
+        name = target.lower()
+        model = DEDICATED_MODELS.get(name)
+        if model is not None:
+            sys_obj = model(env, config, **kwargs)
+        else:
+            sys_obj = HybridSystem(env, lookup_profile(name), config,
+                                   kwargs.get("spec"))
+    scenario = sys_obj.config.extras.get("scenario")
+    if scenario is not None:
+        from ..chaos.injector import ChaosInjector
+        sys_obj.chaos = ChaosInjector.for_system(sys_obj, scenario)
+        sys_obj.chaos.arm()
+    return sys_obj

@@ -204,6 +204,19 @@ class CostModel:
     def evm_exec_time(self, record_size: int) -> float:
         return self.evm_exec_base + self.evm_exec_per_byte * record_size
 
+    def wal_replay_time(self, records: int, nbytes: int) -> float:
+        """Simulated cost of replaying a WAL during crash recovery.
+
+        Sequential read of ``nbytes`` at disk bandwidth (modelled with
+        the network-bandwidth constant — both are ~1 GB/s-class
+        sequential streams on the paper's testbed) plus one CRC pass and
+        one structure re-insert (:attr:`store_put`) per record.  Charged
+        on the recovering node's disk by the chaos injector when a
+        crash-restart step closes the recovery loop.
+        """
+        return (nbytes / self.net_bandwidth
+                + records * (self.store_put + self.hash_time(32)))
+
     def derive(self, **overrides) -> "CostModel":
         """Return a copy with selected constants replaced."""
         return replace(self, **overrides)

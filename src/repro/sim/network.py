@@ -5,8 +5,11 @@ leader broadcasting to N-1 followers pays per-follower serialization — the
 O(N) leader cost the paper attributes to consensus), messages then spend a
 propagation delay in flight and land in the destination mailbox.
 
-Supports fault injection: network partitions, per-link drops, and crashed
-destinations silently discarding traffic.
+Supports fault injection: network partitions (symmetric or one-way,
+individually healable via :class:`PartitionHandle`), per-link drops,
+per-link extra delay (gray/slow nodes), and crashed destinations silently
+discarding traffic.  The chaos scenario DSL (:mod:`repro.chaos`) compiles
+its partition/gray-node steps onto these primitives.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from .costs import CostModel, DEFAULT_COSTS
 from .kernel import Environment
 from .rng import RngRegistry
 
-__all__ = ["Message", "Network"]
+__all__ = ["Message", "Network", "PartitionHandle"]
 
 _msg_counter = itertools.count()
 
@@ -35,6 +38,38 @@ class Message:
     size: int = 256
     msg_id: int = field(default_factory=lambda: next(_msg_counter))
     sent_at: float = 0.0
+
+
+class PartitionHandle:
+    """One active partition, healable independently of any other.
+
+    Returned by :meth:`Network.partition`; overlapping scenario windows
+    each hold their own handle, so healing one window never tears down a
+    partition another window still owns.  ``symmetric=False`` severs only
+    the ``group_a -> group_b`` direction (an asymmetric partition: A's
+    traffic to B is lost while B can still reach A).
+    """
+
+    __slots__ = ("group_a", "group_b", "symmetric", "active")
+
+    def __init__(self, group_a: frozenset, group_b: frozenset,
+                 symmetric: bool = True):
+        self.group_a = group_a
+        self.group_b = group_b
+        self.symmetric = symmetric
+        self.active = True
+
+    def blocks(self, src: str, dst: str) -> bool:
+        if src in self.group_a and dst in self.group_b:
+            return True
+        return (self.symmetric
+                and src in self.group_b and dst in self.group_a)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        arrow = "<->" if self.symmetric else "->"
+        state = "" if self.active else " (healed)"
+        return (f"<Partition {sorted(self.group_a)} {arrow} "
+                f"{sorted(self.group_b)}{state}>")
 
 
 class _Delivery:
@@ -82,6 +117,8 @@ class _Delivery:
         delay = net.costs.net_latency
         if net.jitter > 0:
             delay += net.rng.expovariate(1.0 / net.jitter)
+        if net._link_delay:  # gray/slow link (chaos); empty on clean runs
+            delay += net._link_delay.get((msg.src, msg.dst), 0.0)
         net.env.timeout(delay).callbacks.append(self._arrive)
 
     def _arrive(self, _ev: Any) -> None:
@@ -106,8 +143,9 @@ class Network:
         self.rng = (rng or RngRegistry(0)).stream("network")
         self.jitter = jitter
         self.nodes: dict[str, "Any"] = {}
-        self._partitions: list[tuple[frozenset[str], frozenset[str]]] = []
+        self._partitions: list[PartitionHandle] = []
         self._drop_rate: dict[tuple[str, str], float] = {}
+        self._link_delay: dict[tuple[str, str], float] = {}
         self.messages_sent = 0
         self.messages_dropped = 0
         self.bytes_sent = 0
@@ -119,20 +157,50 @@ class Network:
             raise ValueError(f"duplicate node name {node.name!r}")
         self.nodes[node.name] = node
 
-    def partition(self, group_a: set[str], group_b: set[str]) -> None:
-        """Disconnect ``group_a`` from ``group_b`` (both directions)."""
-        self._partitions.append((frozenset(group_a), frozenset(group_b)))
+    def partition(self, group_a: set[str], group_b: set[str],
+                  symmetric: bool = True) -> PartitionHandle:
+        """Disconnect ``group_a`` from ``group_b``.
 
-    def heal(self) -> None:
-        """Remove all partitions."""
-        self._partitions.clear()
+        Returns a :class:`PartitionHandle` that can be passed to
+        :meth:`heal` to remove just this partition; with
+        ``symmetric=False`` only ``group_a -> group_b`` traffic is lost.
+        """
+        handle = PartitionHandle(frozenset(group_a), frozenset(group_b),
+                                 symmetric=symmetric)
+        self._partitions.append(handle)
+        return handle
+
+    def heal(self, handle: Optional[PartitionHandle] = None) -> None:
+        """Remove one partition (by handle) or, with no argument, all."""
+        if handle is None:
+            for h in self._partitions:
+                h.active = False
+            self._partitions.clear()
+            return
+        handle.active = False
+        try:
+            self._partitions.remove(handle)
+        except ValueError:
+            pass  # already healed (e.g. by a prior heal-all)
 
     def set_drop_rate(self, src: str, dst: str, rate: float) -> None:
         self._drop_rate[(src, dst)] = rate
 
+    def set_link_delay(self, src: str, dst: str, extra: float) -> None:
+        """Add ``extra`` seconds of one-way delay on the ``src->dst`` link.
+
+        The gray/slow-node primitive: a non-zero extra delay makes the
+        link (and hence the node behind it) slow without severing it.
+        ``extra=0`` removes the entry so healed links leave no residue.
+        """
+        if extra:
+            self._link_delay[(src, dst)] = extra
+        else:
+            self._link_delay.pop((src, dst), None)
+
     def _severed(self, src: str, dst: str) -> bool:
-        for a, b in self._partitions:
-            if (src in a and dst in b) or (src in b and dst in a):
+        for handle in self._partitions:
+            if handle.blocks(src, dst):
                 return True
         return False
 

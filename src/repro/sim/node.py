@@ -39,6 +39,13 @@ class Node:
         self.mailbox: Store = Store(env)
         self._subscribers: dict[str, Store] = {}
         self.crashed = False
+        # TrueTime-style clock error bound above the fleet baseline;
+        # Spanner's commit-wait stretches by this much on skewed leaders.
+        self.clock_skew = 0.0
+        # Callbacks invoked by recover() after the inboxes are reset —
+        # protocol roles (replicas) register here to re-arm timers and
+        # reset volatile role state on restart.
+        self.on_recover: list = []
 
     # -- messaging --------------------------------------------------------
 
@@ -92,7 +99,20 @@ class Node:
         self.crashed = True
 
     def recover(self) -> None:
+        """Restart after a crash.
+
+        Pre-crash in-flight state is gone: the mailbox and every
+        subscription store are cleared in place (parked getters survive —
+        see :meth:`Store.clear` — so perpetual receiver chains re-arm on
+        the next delivery).  Registered ``on_recover`` hooks then run so
+        protocol roles can reset volatile state and replay durable logs.
+        """
         self.crashed = False
+        self.mailbox.clear()
+        for box in self._subscribers.values():
+            box.clear()
+        for hook in self.on_recover:
+            hook()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "crashed" if self.crashed else "up"

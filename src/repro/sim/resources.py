@@ -209,5 +209,16 @@ class Store:
         self._items.clear()
         return items
 
+    def clear(self) -> None:
+        """Drop all queued items, keeping parked getters armed.
+
+        Crash-restart support: a recovering node discards pre-crash
+        in-flight messages, but perpetual receiver chains (e.g. a Raft
+        replica's message pump) stay parked on their ``get()`` and must
+        resume on the *next* post-restart item, so ``_getters`` is left
+        untouched.
+        """
+        self._items.clear()
+
     def __len__(self) -> int:
         return len(self._items)

@@ -44,10 +44,10 @@ from .lsm import LSMTree
 from .skiplist import SkipList
 from .wal import WalRecord, WriteAheadLog
 
-__all__ = ["CommitResult", "StorageEngine", "LsmEngine", "BTreeEngine",
-           "SkipListEngine", "MptEngine", "MbtEngine", "BTreeMerkleEngine",
-           "engine_for", "engine_from_config", "parse_index_kind",
-           "ENGINES", "KNOWN_EXTRAS_KEYS"]
+__all__ = ["CommitResult", "RecoveryResult", "StorageEngine", "LsmEngine",
+           "BTreeEngine", "SkipListEngine", "MptEngine", "MbtEngine",
+           "BTreeMerkleEngine", "engine_for", "engine_from_config",
+           "parse_index_kind", "ENGINES", "KNOWN_EXTRAS_KEYS"]
 
 
 class CommitResult(NamedTuple):
@@ -56,6 +56,20 @@ class CommitResult(NamedTuple):
     root: bytes           #: authenticated state root (NULL_HASH when plain)
     hashes_computed: int  #: digests computed by this commit (0 when plain)
     node_ops: int         #: structural node writes since the last commit
+
+
+class RecoveryResult(NamedTuple):
+    """Outcome of one crash-restart WAL replay (:meth:`StorageEngine.recover`).
+
+    ``records``/``bytes_replayed`` feed the replay cost the chaos injector
+    charges (:meth:`repro.sim.costs.CostModel.wal_replay_time`); ``root``
+    and ``hashes_computed`` are the rebuild's commit deltas.
+    """
+
+    records: int          #: WAL records replayed into the fresh structure
+    bytes_replayed: int   #: encoded bytes scanned (the surviving log)
+    root: bytes           #: state root after the rebuild commit
+    hashes_computed: int  #: digests the rebuild commit computed
 
 
 #: WAL checkpoint threshold: log bytes kept before the group-committed log
@@ -81,6 +95,11 @@ class StorageEngine:
         self.puts = 0
         self._node_ops = 0
         self.commits = 0
+        # Checkpoint threshold for WAL truncation after a group commit.
+        # ``None`` disables truncation entirely — the chaos injector sets
+        # that before load so the full history survives for crash replay.
+        self.wal_checkpoint_bytes: Optional[int] = _WAL_CHECKPOINT_BYTES
+        self.recoveries = 0
 
     # -- write path ----------------------------------------------------------
 
@@ -115,9 +134,53 @@ class StorageEngine:
         if self.wal is not None:
             # Group commit: one sync covers the whole block's records.
             self.wal.sync()
-            if self.wal.size_bytes() > _WAL_CHECKPOINT_BYTES:
+            if (self.wal_checkpoint_bytes is not None
+                    and self.wal.size_bytes() > self.wal_checkpoint_bytes):
                 self.wal.truncate()
         return CommitResult(root, hashes, node_ops)
+
+    # -- crash-restart recovery -------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash the engine: the unsynced WAL tail is lost (possibly torn).
+
+        The in-memory structure is *not* touched here — it is dead weight
+        the moment the node is down; :meth:`recover` rebuilds it from the
+        durable log, which is the only state a restart can trust.
+        """
+        if self.wal is None:
+            raise RuntimeError(
+                "crash-restart recovery needs a WAL "
+                "(SystemConfig.extras['wal'] = True)")
+        self.wal.crash()
+
+    def recover(self) -> RecoveryResult:
+        """Rebuild the structure by replaying the surviving WAL.
+
+        The real recovery loop: a fresh structure (:meth:`_fresh_structure`)
+        is populated record by record through the engine's own ``_put``
+        path — *not* :meth:`put`, which would re-journal every replayed
+        write — then committed once.  Replay stops at the first torn or
+        corrupt record exactly as :meth:`WriteAheadLog.replay` does, so
+        post-recovery state equals the pre-crash *synced* state.
+        """
+        if self.wal is None:
+            raise RuntimeError(
+                "crash-restart recovery needs a WAL "
+                "(SystemConfig.extras['wal'] = True)")
+        self._fresh_structure()
+        self._node_ops = 0
+        records = 0
+        last_seq = 0
+        for record in self.wal.replay():
+            self._put(record.key, record.value)
+            records += 1
+            last_seq = record.seq
+        root, hashes = self._commit()
+        self._node_ops = 0
+        self._wal_seq = max(self._wal_seq, last_seq)
+        self.recoveries += 1
+        return RecoveryResult(records, self.wal.size_bytes(), root, hashes)
 
     # -- engine-specific hooks --------------------------------------------------
 
@@ -130,6 +193,10 @@ class StorageEngine:
     def _commit(self) -> tuple[bytes, int]:
         """Fold writes; return (root, hashes computed by this commit)."""
         return NULL_HASH, 0
+
+    def _fresh_structure(self) -> None:
+        """Replace the backing structure with an empty one (for recovery)."""
+        raise NotImplementedError
 
     def data_bytes(self) -> int:
         """Approximate on-disk bytes of the structure (Fig. 12/13)."""
@@ -158,6 +225,9 @@ class LsmEngine(StorageEngine):
     def _get(self, key: bytes) -> Optional[bytes]:
         return self.tree.get(key)
 
+    def _fresh_structure(self) -> None:
+        self.tree = LSMTree(memtable_limit=4096)
+
     def data_bytes(self) -> int:
         return self.tree.total_bytes()
 
@@ -178,6 +248,9 @@ class BTreeEngine(StorageEngine):
 
     def _get(self, key: bytes) -> Optional[bytes]:
         return self.tree.get(key)
+
+    def _fresh_structure(self) -> None:
+        self.tree = BPlusTree(order=64)
 
     def data_bytes(self) -> int:
         total = 0
@@ -202,6 +275,9 @@ class SkipListEngine(StorageEngine):
 
     def _get(self, key: bytes) -> Optional[bytes]:
         return self.tree.get(key)
+
+    def _fresh_structure(self) -> None:
+        self.tree = SkipList()
 
     def data_bytes(self) -> int:
         return sum(len(k) + len(v) + 8 for k, v in self.tree.items())
@@ -243,6 +319,10 @@ class MptEngine(StorageEngine):
         root = self.trie.commit()
         return root, self.trie.hashes_computed - before
 
+    def _fresh_structure(self) -> None:
+        self.trie = MerklePatriciaTrie()
+        self.tree = self.trie
+
     def data_bytes(self) -> int:
         return self.trie.store.total_bytes()
 
@@ -270,6 +350,9 @@ class MbtEngine(StorageEngine):
         root = self.tree.commit()
         return root, self.tree.hashes_computed - before
 
+    def _fresh_structure(self) -> None:
+        self.tree = MerkleBucketTree()
+
     def data_bytes(self) -> int:
         return self.tree.total_bytes()
 
@@ -296,6 +379,9 @@ class BTreeMerkleEngine(StorageEngine):
         before = self.tree.hashes_computed
         root = self.tree.commit()
         return root, self.tree.hashes_computed - before
+
+    def _fresh_structure(self) -> None:
+        self.tree = MerkleBTree(order=64)
 
     def data_bytes(self) -> int:
         return self.tree.total_bytes()
@@ -356,7 +442,9 @@ def engine_for(kind: Union[IndexKind, str],
 #: Every ``SystemConfig.extras`` key the systems layer understands.  A
 #: typo'd key would otherwise silently run the default engine — the same
 #: silent-misconfiguration class the hybrid spec validation closes.
-KNOWN_EXTRAS_KEYS = frozenset({"index", "wal"})
+#: ``scenario`` carries a :class:`repro.chaos.Scenario` the builder arms
+#: after construction (ignored here — it is not an engine concern).
+KNOWN_EXTRAS_KEYS = frozenset({"index", "wal", "scenario"})
 
 
 def engine_from_config(extras: dict,

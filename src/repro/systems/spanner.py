@@ -212,8 +212,8 @@ class _Txn:
         # result delivery and cleanup — all with locks still held, which
         # is what queues conflicting transactions behind a hot key.
         system = self.system
-        timer = system.env.timeout(system.costs.spanner_commit_wait
-                                   + system.costs.spanner_lock_hold)
+        timer = system.env.timeout(
+            system._commit_wait_time(self.shards[0]))
         timer.callbacks.append(self._commit_waited)
 
     def _commit_waited(self, _ev: Event) -> None:
@@ -271,6 +271,20 @@ class SpannerSystem(TransactionalSystem):
 
     def _shard_of(self, key: str) -> int:
         return self.partitioner.shard_of(key)
+
+    def _commit_wait_time(self, shard: int) -> float:
+        """Commit-wait plus lock span, stretched by the coordinator
+        leader's clock-uncertainty skew.
+
+        TrueTime commit-wait is "sleep out the uncertainty bound": a
+        chaos ClockSkew step raises :attr:`Node.clock_skew` on a shard
+        leader and every commit it coordinates waits that much longer —
+        correctness holds, latency pays.  The unskewed path returns the
+        exact historical float (no ``+ 0.0`` drift).
+        """
+        wait = self.costs.spanner_commit_wait + self.costs.spanner_lock_hold
+        skew = self.shard_leaders[shard].clock_skew
+        return wait + skew if skew else wait
 
     def _paxos_write_event(self, shard: int, size: int) -> Event:
         """One Paxos consensus round at a shard (flat chain)."""
@@ -359,8 +373,7 @@ class SpannerSystem(TransactionalSystem):
         # Commit wait (TrueTime uncertainty) plus the lock span through
         # result delivery and cleanup — all with locks still held, which
         # is what queues conflicting transactions behind a hot key.
-        yield self.env.timeout(self.costs.spanner_commit_wait
-                               + self.costs.spanner_lock_hold)
+        yield self.env.timeout(self._commit_wait_time(shards[0]))
         self._version += 1
         self.state.apply_write_set(write_set, self._version)
         txn.commit_version = self._version

@@ -38,16 +38,18 @@ class _ClientCohort:
     """
 
     __slots__ = ("env", "submit", "next_txn", "txn_timeout", "state",
-                 "record", "slots")
+                 "record", "slots", "think_time")
 
     def __init__(self, env: Environment, submit: Callable, next_txn: Callable,
-                 txn_timeout: float, state: dict, record: Callable):
+                 txn_timeout: float, state: dict, record: Callable,
+                 think_time: float = 0.0):
         self.env = env
         self.submit = submit
         self.next_txn = next_txn
         self.txn_timeout = txn_timeout
         self.state = state
         self.record = record
+        self.think_time = think_time
         self.slots: list[_ClientSlot] = []
 
 
@@ -112,7 +114,14 @@ class _ClientSlot:
                     cohort.state["timeouts"] += 1
             elif ev._ok:
                 cohort.record(self.txn)
-        self._next()
+        if cohort.think_time > 0.0:
+            # Paced (open-ish) client: think before the next submission.
+            # Zero by default — the historical fully-closed loop issues
+            # the identical event sequence when no think time is set.
+            cohort.env.timeout(cohort.think_time).callbacks.append(
+                self._staggered)
+        else:
+            self._next()
 
 
 @dataclass
@@ -127,6 +136,10 @@ class DriverConfig:
     max_sim_time: float = 600.0
     txn_timeout: float = 60.0      # per-transaction client timeout
     query_mode: bool = False       # route via submit_query
+    think_time: float = 0.0        # pause between a client's transactions;
+    #                                chaos runs pace load with this so a
+    #                                multi-second fault schedule doesn't
+    #                                mean simulating 10^5 transactions
 
 
 @dataclass
@@ -216,7 +229,7 @@ def run_closed_loop(
     # is staggered so closed-loop clients don't convoy in lockstep.
     submit = system.submit_query if cfg.query_mode else system.submit
     cohort = _ClientCohort(env, submit, next_txn, cfg.txn_timeout, state,
-                           record)
+                           record, think_time=cfg.think_time)
     for i in range(cfg.clients):
         slot = _ClientSlot(cohort, f"client-{i}", i * 0.0003)
         cohort.slots.append(slot)

@@ -46,6 +46,10 @@ class SmallbankConfig:
     # OLTPBench default mix (uniform over the five update procedures);
     # set query_proportion > 0 to mix in Balance reads.
     query_proportion: float = 0.0
+    # Restrict the mix to a subset of procedures.  The chaos harness uses
+    # ("send_payment", "amalgamate") — the two money-*moving* procedures —
+    # so the total balance is an invariant the fault run can check.
+    procedures: Optional[tuple[str, ...]] = None
 
 
 class SmallbankWorkload:
@@ -179,5 +183,6 @@ class SmallbankWorkload:
         if (self.config.query_proportion > 0
                 and self.rng.random() < self.config.query_proportion):
             return self.balance(client)
-        procedure = self.rng.choice(self.PROCEDURES)
+        procedure = self.rng.choice(self.config.procedures
+                                    or self.PROCEDURES)
         return getattr(self, procedure)(client)

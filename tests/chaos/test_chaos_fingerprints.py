@@ -1,0 +1,67 @@
+"""Determinism gate for chaos runs.
+
+A seeded chaos run must be byte-identical across repetitions: same
+injection log, same measured floats, same invariant verdicts — hence the
+same :meth:`ChaosResult.digest`.  Three scenarios across three systems
+and fault families keep the gate broad.
+"""
+
+import pytest
+
+from repro.chaos import (Censor, CrashRestart, GrayNode, LeaderChurn,
+                         Partition, Scenario, run_chaos_point)
+
+SCENARIOS = {
+    "etcd-storm": dict(
+        system="etcd",
+        scenario=Scenario(
+            name="etcd-storm",
+            steps=(
+                Partition(at=1.0, group_a=("etcd1",),
+                          group_b=("etcd0", "etcd2", "etcd3", "etcd4"),
+                          until=2.5),
+                GrayNode(at=3.0, node="etcd2", extra_delay=0.002,
+                         drop_rate=0.05, until=4.0),
+                CrashRestart(at=4.5, node="etcd0", restart_at=5.5),
+            ),
+            settle=2.5),
+        kwargs=dict(extras={"wal": True})),
+    "etcd-churn": dict(
+        system="etcd",
+        scenario=Scenario(
+            name="etcd-churn",
+            steps=(LeaderChurn(at=1.0, until=5.0, period=2.0,
+                               downtime=0.5),),
+            settle=3.0),
+        kwargs=dict(extras={"wal": True})),
+    "quorum-censor": dict(
+        system="quorum",
+        scenario=Scenario(
+            name="quorum-censor",
+            steps=(Censor(at=1.0, match="", until=4.0),),
+            settle=4.0),
+        kwargs=dict(system_kwargs={"consensus": "ibft"})),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_chaos_digest_repeats_byte_identical(name):
+    spec = SCENARIOS[name]
+    results = [run_chaos_point(spec["system"], spec["scenario"], seed=11,
+                               **spec["kwargs"]) for _ in range(2)]
+    first, second = results
+    assert first.injection_log == second.injection_log
+    assert first.violations == second.violations
+    assert repr(first.run.tps) == repr(second.run.tps)
+    assert first.digest() == second.digest()
+    assert first.ok, f"violations: {first.violations}"
+
+
+def test_digest_covers_the_schedule():
+    spec = SCENARIOS["etcd-storm"]
+    res = run_chaos_point(spec["system"], spec["scenario"], seed=11,
+                          **spec["kwargs"])
+    assert res.scenario_fingerprint == spec["scenario"].fingerprint()
+    assert res.invariant_names == ("no-ledger-fork", "prefix-consistency",
+                                   "liveness-after-heal",
+                                   "conserved-balances")

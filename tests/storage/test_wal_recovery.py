@@ -1,0 +1,79 @@
+"""WAL crash-recovery edge cases: torn writes, corrupt tails, truncation.
+
+The replay contract (Section 3.3.1's pruned-WAL recovery): records up to
+the first torn or checksum-failing byte replay cleanly; everything after
+is discarded, never garbled.
+"""
+
+from repro.storage.wal import WalRecord, WriteAheadLog
+
+
+def _filled(n: int = 10) -> WriteAheadLog:
+    wal = WriteAheadLog()
+    for i in range(n):
+        wal.append(WalRecord(i + 1, f"k{i}".encode(), f"v{i}".encode()))
+    wal.sync()
+    return wal
+
+
+class TestCorruptTail:
+    def test_corrupt_tail_stops_replay_at_last_good_record(self):
+        wal = _filled(10)
+        wal.corrupt_tail(1)               # flip the last record's tail byte
+        records = list(wal.replay())
+        assert len(records) == 9          # the poisoned record is dropped
+        assert [r.seq for r in records] == list(range(1, 10))
+        assert records[-1].value == b"v8"
+
+    def test_deep_corruption_drops_more_records(self):
+        wal = _filled(10)
+        # flip enough bytes to reach into earlier records
+        wal.corrupt_tail(60)
+        records = list(wal.replay())
+        assert len(records) < 9
+        for i, rec in enumerate(records):  # the survivors are intact
+            assert rec.seq == i + 1
+            assert rec.value == f"v{i}".encode()
+
+    def test_corrupt_empty_wal_is_noop(self):
+        wal = WriteAheadLog()
+        wal.corrupt_tail(8)
+        assert list(wal.replay()) == []
+
+
+class TestTornWrite:
+    def test_crash_mid_record_leaves_clean_prefix(self):
+        wal = _filled(5)
+        # a record half-written at crash time: synced_to falls mid-record
+        wal.append(WalRecord(6, b"k5", b"v5"))
+        wal.synced_to = wal.size_bytes() - 3   # torn: last 3 bytes unsynced
+        wal.crash()
+        records = list(wal.replay())
+        assert [r.seq for r in records] == [1, 2, 3, 4, 5]
+
+    def test_torn_length_prefix(self):
+        wal = _filled(3)
+        # only 4 bytes of the next record's 8-byte header survive
+        wal._buffer.extend((999).to_bytes(4, "big"))
+        records = list(wal.replay())
+        assert [r.seq for r in records] == [1, 2, 3]
+
+
+class TestTruncateAfterReplay:
+    def test_truncate_resets_log_and_replay_is_empty(self):
+        wal = _filled(8)
+        assert len(list(wal.replay())) == 8
+        wal.truncate()
+        assert wal.size_bytes() == 0
+        assert wal.synced_to == 0
+        assert list(wal.replay()) == []
+
+    def test_appends_after_truncate_replay_alone(self):
+        wal = _filled(4)
+        list(wal.replay())
+        wal.truncate()                    # checkpoint after recovery
+        wal.append(WalRecord(5, b"k", b"post"))
+        wal.sync()
+        records = list(wal.replay())
+        assert [r.seq for r in records] == [5]
+        assert records[0].value == b"post"

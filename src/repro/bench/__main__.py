@@ -7,9 +7,16 @@ Usage::
     python -m repro.bench --list
     python -m repro.bench --perf              # perf trajectory -> BENCH_<date>.json
     python -m repro.bench --perf --scale smoke --budget 120
+    python -m repro.bench --perf --jobs 4     # farm microbenchmarks across workers
+    python -m repro.bench --sweep --jobs 8    # whole grid -> SWEEP_<date>.json
+    python -m repro.bench --sweep --list      # point inventory, no execution
+    python -m repro.bench --sweep fig14 fingerprints --scale smoke --jobs 2
 
 Scales: smoke (seconds per artifact), bench (default), paper (closest to
-the paper's measurement sizes; minutes per artifact).
+the paper's measurement sizes; minutes per artifact).  ``--sweep`` runs
+the figure grid point-parallel across ``--jobs`` worker processes,
+verifies every point that matches a seeded fingerprint pin, and merges
+one trajectory file byte-identical (modulo wall clocks) to a serial run.
 """
 
 from __future__ import annotations
@@ -62,13 +69,53 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--perf-out", default=".",
                         help="directory for the BENCH_*.json file")
     parser.add_argument("--budget", type=float, default=None,
-                        help="with --perf: fail if total wall-clock "
-                             "exceeds this many seconds")
+                        help="with --perf/--sweep: fail if total "
+                             "wall-clock exceeds this many seconds")
+    parser.add_argument("--sweep", action="store_true",
+                        help="run the figure grid point-parallel and "
+                             "write a SWEEP_<date>.json trajectory file")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for --sweep / --perf "
+                             "(default 1 = serial)")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="with --sweep: skip seeded-fingerprint "
+                             "verification of swept points")
+    parser.add_argument("--sweep-out", default=".",
+                        help="directory for the SWEEP_*.json file")
     args = parser.parse_args(argv)
+
+    if args.sweep:
+        from .sweep import SweepMismatch, format_inventory, format_sweep, \
+            run_sweep, write_sweep_trajectory
+        scale = SCALES[args.scale]
+        figures = args.artifacts or None
+        if figures:
+            known = set(EXPERIMENTS) | {"fingerprints"}
+            unknown = [f for f in figures if f not in known]
+            if unknown:
+                print(f"unknown artifacts: {unknown}", file=sys.stderr)
+                return 2
+        if args.list:
+            print(format_inventory(scale, figures))
+            return 0
+        try:
+            report = run_sweep(scale=scale, jobs=args.jobs, figures=figures,
+                               verify=not args.no_verify)
+        except SweepMismatch as exc:
+            print(f"SWEEP FINGERPRINT MISMATCH: {exc}", file=sys.stderr)
+            return 1
+        print(format_sweep(report))
+        path = write_sweep_trajectory(report, out_dir=args.sweep_out)
+        print(f"wrote {path}")
+        if args.budget is not None and report["total_wall_s"] > args.budget:
+            print(f"SWEEP BUDGET EXCEEDED: {report['total_wall_s']}s "
+                  f"> {args.budget}s", file=sys.stderr)
+            return 1
+        return 0
 
     if args.perf:
         from .perf import format_perf, run_perf, write_trajectory
-        report = run_perf(scale=SCALES[args.scale])
+        report = run_perf(scale=SCALES[args.scale], jobs=args.jobs)
         print(format_perf(report))
         path = write_trajectory(report, out_dir=args.perf_out)
         print(f"wrote {path}")

@@ -5,6 +5,15 @@ structured dict with the measured series plus ``paper`` — the values the
 paper reports — so callers (benchmarks, EXPERIMENTS.md generation) can
 compare shapes.  Pass ``scale=SMOKE`` for quick runs, ``BENCH`` for the
 default benchmark fidelity.
+
+Every figure is split into a declarative half and a fold: ``*_points``
+enumerates the figure's measurements as picklable
+:class:`~repro.bench.harness.PointSpec` records, and ``*_assemble``
+folds the finished :class:`~repro.bench.harness.PointResult` values into
+the artifact dict.  The serial functions below run the points in
+enumeration order in-process; the multiprocess sweep runner
+(:mod:`repro.bench.sweep`) farms the same specs across workers and calls
+the same assemblers, so the two paths merge byte-identical artifacts.
 """
 
 from __future__ import annotations
@@ -19,112 +28,222 @@ from ..core.forecast import (REPORTED_THROUGHPUT, forecast, rank)
 from ..core.taxonomy import TABLE2
 from ..txn.ledger import envelope_size
 from ..txn.transaction import Transaction
-from .harness import BENCH, Scale, run_point, run_smallbank_point
+from .harness import BENCH, PointSpec, Scale, run_point, run_smallbank_point, \
+    run_spec
 
 __all__ = [
     "fig4_peak_throughput", "fig5_latency", "fig6_smallbank",
     "fig7_cft_vs_bft", "fig8_latency_breakdown", "tab4_scaling",
     "tab5_tidb_matrix", "fig9_skew", "fig10_opcount", "fig11_record_size",
     "fig12_storage", "fig13_ads_overhead", "fig14_sharding",
-    "fig15_hybrid_forecast",
+    "fig15_hybrid_forecast", "POINT_TABLES",
 ]
 
 FOUR_SYSTEMS = ("fabric", "quorum", "tidb", "etcd")
 FIVE_SYSTEMS = FOUR_SYSTEMS + ("tikv",)
+
+#: Relative wall cost of one closed-loop point per system (longest-job-
+#: first scheduling hint; measured BENCH-scale magnitudes, not a gate).
+_SYSTEM_WEIGHT = {
+    "fabric": 5.0, "quorum": 2.5, "tidb": 3.5, "etcd": 1.0, "tikv": 1.3,
+    "spanner": 1.6, "ahl": 2.5, "veritas": 1.0, "chainifydb": 1.5,
+    "brd": 1.5, "bigchaindb": 2.0, "falcondb": 2.0, "blockchaindb": 3.0,
+}
+
+
+def _weight(system: str, scale: Scale, measure_txns: Optional[int] = None,
+            ops_per_txn: int = 1, num_nodes: int = 5) -> float:
+    txns = measure_txns if measure_txns is not None else scale.measure_txns
+    return (_SYSTEM_WEIGHT.get(system, 1.5)
+            * (txns / max(1, scale.measure_txns))
+            * (0.5 + 0.5 * ops_per_txn)
+            * (num_nodes / 5) ** 0.5)
+
+
+def _run_serial(specs: list[PointSpec]) -> dict:
+    """Run specs in enumeration order in-process (the serial engine)."""
+    return {spec.key: run_spec(spec) for spec in specs}
 
 
 # ---------------------------------------------------------------------------
 # Figure 4: peak YCSB throughput (update and query), 5 systems, log scale
 # ---------------------------------------------------------------------------
 
-def fig4_peak_throughput(scale: Scale = BENCH,
-                         systems: tuple = FIVE_SYSTEMS) -> dict:
-    paper = {
-        "update": {"fabric": 1294, "quorum": 245, "tidb": 5159,
-                   "etcd": 16781, "tikv": 13507},
-        "query": {"fabric": 23809, "quorum": 19166, "tidb": 87933,
-                  "etcd": 282192, "tikv": 94050},
-    }
-    measured = {"update": {}, "query": {}}
+_FIG4_PAPER = {
+    "update": {"fabric": 1294, "quorum": 245, "tidb": 5159,
+               "etcd": 16781, "tikv": 13507},
+    "query": {"fabric": 23809, "quorum": 19166, "tidb": 87933,
+              "etcd": 282192, "tikv": 94050},
+}
+
+
+def fig4_points(scale: Scale = BENCH,
+                systems: tuple = FIVE_SYSTEMS) -> list[PointSpec]:
+    specs = []
     for mode in ("update", "query"):
         for system in systems:
-            res = run_point(system, scale=scale, mode=mode,
-                            measure_txns=(scale.measure_txns * 3
-                                          if mode == "query" else None))
-            measured[mode][system] = res.tps
-    return {"id": "fig4", "measured": measured, "paper": paper}
+            measure = scale.measure_txns * 3 if mode == "query" else None
+            specs.append(PointSpec(
+                figure="fig4", key=(mode, system), system=system,
+                scale=scale,
+                params=(("mode", mode), ("measure_txns", measure)),
+                weight=_weight(system, scale, measure) * (
+                    0.4 if mode == "query" else 1.0)))
+    return specs
+
+
+def fig4_assemble(results: dict) -> dict:
+    measured = {"update": {}, "query": {}}
+    for (mode, system), res in results.items():
+        measured[mode][system] = res.tps
+    return {"id": "fig4", "measured": measured, "paper": _FIG4_PAPER}
+
+
+def fig4_peak_throughput(scale: Scale = BENCH,
+                         systems: tuple = FIVE_SYSTEMS) -> dict:
+    return fig4_assemble(_run_serial(fig4_points(scale, systems)))
 
 
 # ---------------------------------------------------------------------------
 # Figure 5: unsaturated latency (update and query)
 # ---------------------------------------------------------------------------
 
-def fig5_latency(scale: Scale = BENCH,
-                 systems: tuple = FIVE_SYSTEMS) -> dict:
-    paper_ms = {
-        "update": {"fabric": 3500, "quorum": 500, "tidb": 100,
-                   "etcd": 100, "tikv": 100},
-        "query": {"fabric": 9, "quorum": 4, "tidb": 1,
-                  "etcd": 1, "tikv": 1},
-    }
-    measured = {"update": {}, "query": {}}
+_FIG5_PAPER_MS = {
+    "update": {"fabric": 3500, "quorum": 500, "tidb": 100,
+               "etcd": 100, "tikv": 100},
+    "query": {"fabric": 9, "quorum": 4, "tidb": 1,
+              "etcd": 1, "tikv": 1},
+}
+
+
+def fig5_points(scale: Scale = BENCH,
+                systems: tuple = FIVE_SYSTEMS) -> list[PointSpec]:
+    specs = []
     for mode in ("update", "query"):
         for system in systems:
+            measure = max(100, scale.measure_txns // 10)
             # unsaturated: a handful of closed-loop clients
-            res = run_point(system, scale=scale, mode=mode, clients=4,
-                            measure_txns=max(100, scale.measure_txns // 10))
-            measured[mode][system] = res.mean_latency * 1000.0
-    return {"id": "fig5", "measured_ms": measured, "paper_ms": paper_ms}
+            specs.append(PointSpec(
+                figure="fig5", key=(mode, system), system=system,
+                scale=scale,
+                params=(("mode", mode), ("clients", 4),
+                        ("measure_txns", measure)),
+                weight=_weight(system, scale, measure)))
+    return specs
+
+
+def fig5_assemble(results: dict) -> dict:
+    measured = {"update": {}, "query": {}}
+    for (mode, system), res in results.items():
+        measured[mode][system] = res.mean_latency * 1000.0
+    return {"id": "fig5", "measured_ms": measured, "paper_ms": _FIG5_PAPER_MS}
+
+
+def fig5_latency(scale: Scale = BENCH,
+                 systems: tuple = FIVE_SYSTEMS) -> dict:
+    return fig5_assemble(_run_serial(fig5_points(scale, systems)))
 
 
 # ---------------------------------------------------------------------------
 # Figure 6: Smallbank throughput (skewed, theta=1)
 # ---------------------------------------------------------------------------
 
-def fig6_smallbank(scale: Scale = BENCH,
-                   num_accounts: Optional[int] = None) -> dict:
-    paper = {"fabric": 835, "quorum": 655, "tidb": 1031}
+_FIG6_PAPER = {"fabric": 835, "quorum": 655, "tidb": 1031}
+
+
+def fig6_points(scale: Scale = BENCH,
+                num_accounts: Optional[int] = None) -> list[PointSpec]:
     accounts = num_accounts if num_accounts is not None \
         else max(scale.record_count * 5, 10_000)
-    measured = {}
-    for system in ("fabric", "quorum", "tidb"):
-        res = run_smallbank_point(system, scale=scale,
-                                  num_accounts=accounts)
-        measured[system] = res.tps
-    return {"id": "fig6", "measured": measured, "paper": paper}
+    return [PointSpec(figure="fig6", key=(system,), runner="smallbank",
+                      system=system, scale=scale,
+                      params=(("num_accounts", accounts),),
+                      weight=_weight(system, scale))
+            for system in ("fabric", "quorum", "tidb")]
+
+
+def fig6_assemble(results: dict) -> dict:
+    measured = {system: res.tps for (system,), res in results.items()}
+    return {"id": "fig6", "measured": measured, "paper": _FIG6_PAPER}
+
+
+def fig6_smallbank(scale: Scale = BENCH,
+                   num_accounts: Optional[int] = None) -> dict:
+    return fig6_assemble(_run_serial(fig6_points(scale, num_accounts)))
 
 
 # ---------------------------------------------------------------------------
 # Figure 7: Quorum Raft (CFT) vs IBFT (BFT) vs tolerated failures
 # ---------------------------------------------------------------------------
 
-def fig7_cft_vs_bft(scale: Scale = BENCH,
-                    failures: tuple = (1, 2, 3, 4, 5, 6),
-                    seeds: tuple = (0, 1, 2)) -> dict:
-    measured = {"raft": {}, "ibft": {}}
+def fig7_points(scale: Scale = BENCH,
+                failures: tuple = (1, 2, 3, 4, 5, 6),
+                seeds: tuple = (0, 1, 2)) -> list[PointSpec]:
+    specs = []
     for f in failures:
         for protocol, nodes in (("raft", 2 * f + 1), ("ibft", 3 * f + 1)):
-            samples = []
             for seed in seeds:
-                res = run_point(
-                    "quorum", scale=scale, num_nodes=nodes, seed=seed,
-                    measure_txns=max(200, scale.measure_txns // 2),
-                    system_kwargs={"consensus": protocol})
-                samples.append(res.tps)
-            mean = sum(samples) / len(samples)
-            var = sum((s - mean) ** 2 for s in samples) / len(samples)
-            measured[protocol][f] = {"mean": mean, "std": var ** 0.5,
-                                     "samples": samples}
+                measure = max(200, scale.measure_txns // 2)
+                specs.append(PointSpec(
+                    figure="fig7", key=(protocol, f, seed), system="quorum",
+                    scale=scale,
+                    params=(("num_nodes", nodes), ("seed", seed),
+                            ("measure_txns", measure),
+                            ("system_kwargs", {"consensus": protocol})),
+                    weight=_weight("quorum", scale, measure,
+                                   num_nodes=nodes)))
+    return specs
+
+
+def fig7_assemble(results: dict) -> dict:
+    measured: dict = {"raft": {}, "ibft": {}}
+    samples: dict = {}
+    for (protocol, f, _seed), res in results.items():
+        samples.setdefault((protocol, f), []).append(res.tps)
+    for (protocol, f), vals in samples.items():
+        mean = sum(vals) / len(vals)
+        var = sum((s - mean) ** 2 for s in vals) / len(vals)
+        measured[protocol][f] = {"mean": mean, "std": var ** 0.5,
+                                 "samples": vals}
     return {"id": "fig7", "measured": measured,
             "paper": {"note": "both protocols flat at ~230-380 tps; "
                               "IBFT variance grows with f"}}
+
+
+def fig7_cft_vs_bft(scale: Scale = BENCH,
+                    failures: tuple = (1, 2, 3, 4, 5, 6),
+                    seeds: tuple = (0, 1, 2)) -> dict:
+    return fig7_assemble(_run_serial(fig7_points(scale, failures, seeds)))
 
 
 # ---------------------------------------------------------------------------
 # Figure 8: latency breakdown (Fabric phases; TiDB query costs)
 # ---------------------------------------------------------------------------
 
-def fig8_latency_breakdown(scale: Scale = BENCH) -> dict:
+def fig8_points(scale: Scale = BENCH) -> list[PointSpec]:
+    trickle = max(100, scale.measure_txns // 10)
+    return [
+        # Fabric update, unsaturated vs saturated
+        PointSpec(figure="fig8", key=("unsat",), system="fabric", scale=scale,
+                  params=(("clients", 8), ("measure_txns", trickle)),
+                  weight=_weight("fabric", scale, trickle)),
+        PointSpec(figure="fig8", key=("sat",), system="fabric", scale=scale,
+                  weight=_weight("fabric", scale)),
+        # Query breakdowns
+        PointSpec(figure="fig8", key=("fabric_query",), system="fabric",
+                  scale=scale,
+                  params=(("mode", "query"), ("clients", 8),
+                          ("measure_txns", trickle)),
+                  weight=_weight("fabric", scale, trickle)),
+        PointSpec(figure="fig8", key=("tidb_query",), system="tidb",
+                  scale=scale,
+                  params=(("mode", "query"), ("clients", 8),
+                          ("measure_txns", trickle)),
+                  weight=_weight("tidb", scale, trickle)),
+    ]
+
+
+def fig8_assemble(results: dict) -> dict:
     out = {"id": "fig8", "paper": {
         "fabric_unsaturated_ms": {"execute": 500, "order": 700,
                                   "validate": 700},
@@ -133,144 +252,217 @@ def fig8_latency_breakdown(scale: Scale = BENCH) -> dict:
         "tidb_query_us": {"sql-parse": 16, "sql-compile": 15,
                           "storage-get": 275},
     }}
-    # Fabric update, unsaturated vs saturated
-    res_unsat = run_point("fabric", scale=scale, clients=8,
-                          measure_txns=max(100, scale.measure_txns // 10))
-    res_sat = run_point("fabric", scale=scale)
     out["fabric_unsaturated_ms"] = {
-        k: v * 1000 for k, v in res_unsat.phase_means().items()}
+        k: v * 1000 for k, v in results[("unsat",)].phase_means.items()}
     out["fabric_saturated_ms"] = {
-        k: v * 1000 for k, v in res_sat.phase_means().items()}
-    # Query breakdowns
-    res_fq = run_point("fabric", scale=scale, mode="query", clients=8,
-                       measure_txns=max(100, scale.measure_txns // 10))
+        k: v * 1000 for k, v in results[("sat",)].phase_means.items()}
     out["fabric_query_us"] = {
-        k: v * 1e6 for k, v in res_fq.phase_means().items()}
-    res_tq = run_point("tidb", scale=scale, mode="query", clients=8,
-                       measure_txns=max(100, scale.measure_txns // 10))
+        k: v * 1e6 for k, v in results[("fabric_query",)].phase_means.items()}
     out["tidb_query_us"] = {
-        k: v * 1e6 for k, v in res_tq.phase_means().items()}
+        k: v * 1e6 for k, v in results[("tidb_query",)].phase_means.items()}
     return out
+
+
+def fig8_latency_breakdown(scale: Scale = BENCH) -> dict:
+    return fig8_assemble(_run_serial(fig8_points(scale)))
 
 
 # ---------------------------------------------------------------------------
 # Table 4: throughput vs number of nodes (full replication)
 # ---------------------------------------------------------------------------
 
+_TAB4_PAPER = {
+    "fabric": {3: 1560, 7: 1288, 11: 1031, 15: 749, 19: 528},
+    "quorum": {3: 237, 7: 236, 11: 229, 15: 217, 19: 219},
+    "tidb": {3: 5697, 7: 7884, 11: 7544, 15: 6239, 19: 5526},
+    "etcd": {3: 19282, 7: 16453, 11: 11243, 15: 7801, 19: 6076},
+}
+
+
+def tab4_points(scale: Scale = BENCH,
+                node_counts: tuple = (3, 7, 11, 15, 19),
+                systems: tuple = FOUR_SYSTEMS) -> list[PointSpec]:
+    return [PointSpec(figure="tab4", key=(system, n), system=system,
+                      scale=scale, params=(("num_nodes", n),),
+                      weight=_weight(system, scale, num_nodes=n))
+            for system in systems for n in node_counts]
+
+
+def tab4_assemble(results: dict) -> dict:
+    measured: dict = {}
+    for (system, n), res in results.items():
+        measured.setdefault(system, {})[n] = res.tps
+    return {"id": "tab4", "measured": measured, "paper": _TAB4_PAPER}
+
+
 def tab4_scaling(scale: Scale = BENCH,
                  node_counts: tuple = (3, 7, 11, 15, 19),
                  systems: tuple = FOUR_SYSTEMS) -> dict:
-    paper = {
-        "fabric": {3: 1560, 7: 1288, 11: 1031, 15: 749, 19: 528},
-        "quorum": {3: 237, 7: 236, 11: 229, 15: 217, 19: 219},
-        "tidb": {3: 5697, 7: 7884, 11: 7544, 15: 6239, 19: 5526},
-        "etcd": {3: 19282, 7: 16453, 11: 11243, 15: 7801, 19: 6076},
-    }
-    measured = {s: {} for s in systems}
-    for system in systems:
-        for n in node_counts:
-            res = run_point(system, scale=scale, num_nodes=n)
-            measured[system][n] = res.tps
-    return {"id": "tab4", "measured": measured, "paper": paper}
+    return tab4_assemble(_run_serial(tab4_points(scale, node_counts,
+                                                 systems)))
 
 
 # ---------------------------------------------------------------------------
 # Table 5: TiDB servers x TiKV nodes matrix
 # ---------------------------------------------------------------------------
 
+_TAB5_PAPER = {
+    3: {3: 5697, 7: 8517, 11: 9116, 15: 8838, 19: 8690},
+    7: {3: 5951, 7: 7884, 11: 8539, 15: 8162, 19: 8246},
+    11: {3: 5847, 7: 6871, 11: 7544, 15: 6941, 19: 7429},
+    15: {3: 5121, 7: 5703, 11: 6306, 15: 6239, 19: 5618},
+    19: {3: 4198, 7: 5238, 11: 5477, 15: 5563, 19: 5526},
+}
+
+
+def tab5_points(scale: Scale = BENCH,
+                tidb_counts: tuple = (3, 7, 11, 15, 19),
+                tikv_counts: tuple = (3, 7, 11, 15, 19)) -> list[PointSpec]:
+    specs = []
+    for tidb_n in tidb_counts:
+        for tikv_n in tikv_counts:
+            nodes = max(tidb_n, tikv_n)
+            specs.append(PointSpec(
+                figure="tab5", key=(tidb_n, tikv_n), system="tidb",
+                scale=scale,
+                params=(("num_nodes", nodes),
+                        ("clients", 64 * max(1, tidb_n // 3)),
+                        ("system_kwargs", {"tidb_servers": tidb_n,
+                                           "tikv_nodes": tikv_n})),
+                weight=_weight("tidb", scale, num_nodes=nodes)))
+    return specs
+
+
+def tab5_assemble(results: dict) -> dict:
+    measured: dict = {}
+    for (tidb_n, tikv_n), res in results.items():
+        measured.setdefault(tidb_n, {})[tikv_n] = res.tps
+    return {"id": "tab5", "measured": measured, "paper": _TAB5_PAPER}
+
+
 def tab5_tidb_matrix(scale: Scale = BENCH,
                      tidb_counts: tuple = (3, 7, 11, 15, 19),
                      tikv_counts: tuple = (3, 7, 11, 15, 19)) -> dict:
-    paper = {
-        3: {3: 5697, 7: 8517, 11: 9116, 15: 8838, 19: 8690},
-        7: {3: 5951, 7: 7884, 11: 8539, 15: 8162, 19: 8246},
-        11: {3: 5847, 7: 6871, 11: 7544, 15: 6941, 19: 7429},
-        15: {3: 5121, 7: 5703, 11: 6306, 15: 6239, 19: 5618},
-        19: {3: 4198, 7: 5238, 11: 5477, 15: 5563, 19: 5526},
-    }
-    measured: dict = {}
-    for tidb_n in tidb_counts:
-        measured[tidb_n] = {}
-        for tikv_n in tikv_counts:
-            res = run_point(
-                "tidb", scale=scale, num_nodes=max(tidb_n, tikv_n),
-                clients=64 * max(1, tidb_n // 3),
-                system_kwargs={"tidb_servers": tidb_n,
-                               "tikv_nodes": tikv_n})
-            measured[tidb_n][tikv_n] = res.tps
-    return {"id": "tab5", "measured": measured, "paper": paper}
+    return tab5_assemble(_run_serial(tab5_points(scale, tidb_counts,
+                                                 tikv_counts)))
 
 
 # ---------------------------------------------------------------------------
 # Figure 9: throughput + abort rate vs Zipf skew
 # ---------------------------------------------------------------------------
 
+_FIG9_PAPER = {
+    "tidb_tps": {0.0: 5461, 1.0: 173},
+    "fabric_abort_rate": {1.0: 0.44},
+    "tidb_abort_rate": {1.0: 0.30},
+    "note": "etcd and Quorum unaffected (serial execution)",
+}
+
+
+def fig9_points(scale: Scale = BENCH,
+                thetas: tuple = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+                systems: tuple = FOUR_SYSTEMS) -> list[PointSpec]:
+    return [PointSpec(figure="fig9", key=(system, theta), system=system,
+                      scale=scale,
+                      params=(("theta", theta), ("mode", "rmw")),
+                      weight=_weight(system, scale, ops_per_txn=2))
+            for system in systems for theta in thetas]
+
+
+def fig9_assemble(results: dict) -> dict:
+    measured: dict = {}
+    for (system, theta), res in results.items():
+        entry = measured.setdefault(system, {"tps": {}, "abort_rate": {}})
+        entry["tps"][theta] = res.tps
+        entry["abort_rate"][theta] = res.abort_rate
+    return {"id": "fig9", "measured": measured, "paper": _FIG9_PAPER}
+
+
 def fig9_skew(scale: Scale = BENCH,
               thetas: tuple = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
               systems: tuple = FOUR_SYSTEMS) -> dict:
-    paper = {
-        "tidb_tps": {0.0: 5461, 1.0: 173},
-        "fabric_abort_rate": {1.0: 0.44},
-        "tidb_abort_rate": {1.0: 0.30},
-        "note": "etcd and Quorum unaffected (serial execution)",
-    }
-    measured = {s: {"tps": {}, "abort_rate": {}} for s in systems}
-    for system in systems:
-        for theta in thetas:
-            res = run_point(system, scale=scale, theta=theta, mode="rmw")
-            measured[system]["tps"][theta] = res.tps
-            measured[system]["abort_rate"][theta] = res.abort_rate
-    return {"id": "fig9", "measured": measured, "paper": paper}
+    return fig9_assemble(_run_serial(fig9_points(scale, thetas, systems)))
 
 
 # ---------------------------------------------------------------------------
 # Figure 10: throughput + abort rate vs operations per transaction
 # ---------------------------------------------------------------------------
 
+_FIG10_PAPER = {
+    "tidb_relative_tps_at_10": 0.32,
+    "fabric_abort_rate_at_10": 0.87,
+    "tidb_abort_rate_at_10": 0.269,
+    "fabric_abort_split_at_10": {"inconsistent_read": 0.14,
+                                 "read_write_conflict": 0.86},
+}
+
+
+def fig10_points(scale: Scale = BENCH,
+                 op_counts: tuple = (1, 2, 4, 6, 8, 10),
+                 systems: tuple = FOUR_SYSTEMS) -> list[PointSpec]:
+    return [PointSpec(figure="fig10", key=(system, ops), system=system,
+                      scale=scale,
+                      params=(("ops_per_txn", ops), ("mode", "rmw"),
+                              ("fix_total_size", True)),
+                      weight=_weight(system, scale, ops_per_txn=ops))
+            for system in systems for ops in op_counts]
+
+
+def fig10_assemble(results: dict) -> dict:
+    measured: dict = {}
+    for (system, ops), res in results.items():
+        entry = measured.setdefault(
+            system, {"tps": {}, "abort_rate": {}, "abort_reasons": {}})
+        entry["tps"][ops] = res.tps
+        entry["abort_rate"][ops] = res.abort_rate
+        entry["abort_reasons"][ops] = dict(res.abort_reasons)
+    return {"id": "fig10", "measured": measured, "paper": _FIG10_PAPER}
+
+
 def fig10_opcount(scale: Scale = BENCH,
                   op_counts: tuple = (1, 2, 4, 6, 8, 10),
                   systems: tuple = FOUR_SYSTEMS) -> dict:
-    paper = {
-        "tidb_relative_tps_at_10": 0.32,
-        "fabric_abort_rate_at_10": 0.87,
-        "tidb_abort_rate_at_10": 0.269,
-        "fabric_abort_split_at_10": {"inconsistent_read": 0.14,
-                                     "read_write_conflict": 0.86},
-    }
-    measured = {s: {"tps": {}, "abort_rate": {}, "abort_reasons": {}}
-                for s in systems}
-    for system in systems:
-        for ops in op_counts:
-            res = run_point(system, scale=scale, ops_per_txn=ops,
-                            mode="rmw", fix_total_size=True)
-            measured[system]["tps"][ops] = res.tps
-            measured[system]["abort_rate"][ops] = res.abort_rate
-            measured[system]["abort_reasons"][ops] = dict(
-                res.stats.abort_reasons)
-    return {"id": "fig10", "measured": measured, "paper": paper}
+    return fig10_assemble(_run_serial(fig10_points(scale, op_counts,
+                                                   systems)))
 
 
 # ---------------------------------------------------------------------------
 # Figure 11: throughput + phase latency vs record size
 # ---------------------------------------------------------------------------
 
+_FIG11_PAPER = {
+    "quorum_tps": {10: 1547, 1000: 245, 5000: 58},
+    "fabric_tps": {10: 1400, 1000: 1294, 5000: 700},
+    "note": "Quorum collapses with record size (MPT reconstruction); "
+            "Fabric roughly flat until 5000 B",
+}
+
+
+def fig11_points(scale: Scale = BENCH,
+                 record_sizes: tuple = (10, 100, 1000, 5000),
+                 systems: tuple = FOUR_SYSTEMS) -> list[PointSpec]:
+    return [PointSpec(figure="fig11", key=(system, size), system=system,
+                      scale=scale, params=(("record_size", size),),
+                      weight=_weight(system, scale)
+                      * (1.0 + size / 5000.0))
+            for system in systems for size in record_sizes]
+
+
+def fig11_assemble(results: dict) -> dict:
+    measured: dict = {}
+    for (system, size), res in results.items():
+        entry = measured.setdefault(system, {"tps": {}, "phases_ms": {}})
+        entry["tps"][size] = res.tps
+        entry["phases_ms"][size] = {
+            k: v * 1000 for k, v in res.phase_means.items()}
+    return {"id": "fig11", "measured": measured, "paper": _FIG11_PAPER}
+
+
 def fig11_record_size(scale: Scale = BENCH,
                       record_sizes: tuple = (10, 100, 1000, 5000),
                       systems: tuple = FOUR_SYSTEMS) -> dict:
-    paper = {
-        "quorum_tps": {10: 1547, 1000: 245, 5000: 58},
-        "fabric_tps": {10: 1400, 1000: 1294, 5000: 700},
-        "note": "Quorum collapses with record size (MPT reconstruction); "
-                "Fabric roughly flat until 5000 B",
-    }
-    measured = {s: {"tps": {}, "phases_ms": {}} for s in systems}
-    for system in systems:
-        for size in record_sizes:
-            res = run_point(system, scale=scale, record_size=size)
-            measured[system]["tps"][size] = res.tps
-            measured[system]["phases_ms"][size] = {
-                k: v * 1000 for k, v in res.phase_means().items()}
-    return {"id": "fig11", "measured": measured, "paper": paper}
+    return fig11_assemble(_run_serial(fig11_points(scale, record_sizes,
+                                                   systems)))
 
 
 # ---------------------------------------------------------------------------
@@ -297,6 +489,16 @@ def fig12_storage(record_sizes: tuple = (10, 100, 1000, 5000),
         measured["tidb"][size] = size + 50
     return {"id": "fig12", "measured": measured, "paper": paper,
             "records": records}
+
+
+def fig12_points(scale: Scale = BENCH) -> list[PointSpec]:
+    # Pure data-structure measurement: one inline spec, no Scale.
+    return [PointSpec(figure="fig12", key=(), runner="inline",
+                      fn="fig12_storage", weight=0.05)]
+
+
+def fig12_assemble(results: dict) -> dict:
+    return results[()].payload
 
 
 # ---------------------------------------------------------------------------
@@ -330,52 +532,101 @@ def fig13_ads_overhead(record_sizes: tuple = (10, 100, 1000, 5000),
             "records": records}
 
 
+def fig13_points(scale: Scale = BENCH) -> list[PointSpec]:
+    return [PointSpec(figure="fig13", key=(), runner="inline",
+                      fn="fig13_ads_overhead", weight=1.0)]
+
+
+def fig13_assemble(results: dict) -> dict:
+    return results[()].payload
+
+
 # ---------------------------------------------------------------------------
 # Figure 14: sharded throughput (TiDB vs Spanner vs AHL)
 # ---------------------------------------------------------------------------
 
-def fig14_sharding(scale: Scale = BENCH,
-                   node_counts: tuple = (3, 12, 24, 36, 48),
-                   theta: float = 1.0) -> dict:
+_FIG14_PAPER = {"note": "TiDB > Spanner >> AHL(fixed) > AHL(reconfig, -30%); "
+                        "log-scale gap of 1-2 orders of magnitude"}
+
+
+def fig14_points(scale: Scale = BENCH,
+                 node_counts: tuple = (3, 12, 24, 36, 48),
+                 theta: float = 1.0) -> list[PointSpec]:
     from ..sim.costs import DEFAULT_COSTS
     # Shrink the reconfiguration epoch so several pauses land inside the
     # measurement window (same 30% duty-cycle loss as the paper's setup).
     reconfig_costs = DEFAULT_COSTS.derive(ahl_reconfig_period=3.0,
                                           ahl_reconfig_pause=0.9)
-    paper = {"note": "TiDB > Spanner >> AHL(fixed) > AHL(reconfig, -30%); "
-                     "log-scale gap of 1-2 orders of magnitude"}
-    measured: dict = {"tidb": {}, "spanner": {}, "ahl_fixed": {},
-                      "ahl_reconfig": {}}
+    specs = []
     for n in node_counts:
         shards = n // 3
-        res = run_point("tidb", scale=scale, num_nodes=max(3, shards),
-                        theta=theta, ops_per_txn=2, mode="rmw",
-                        system_kwargs={"tidb_servers": max(3, shards),
+        specs.append(PointSpec(
+            figure="fig14", key=("tidb", n), system="tidb", scale=scale,
+            params=(("num_nodes", max(3, shards)), ("theta", theta),
+                    ("ops_per_txn", 2), ("mode", "rmw"),
+                    ("system_kwargs", {"tidb_servers": max(3, shards),
                                        "tikv_nodes": max(3, shards),
-                                       "instant_abort": True})
-        measured["tidb"][n] = res.tps
-        res = run_point("spanner", scale=scale, num_nodes=n, theta=theta,
-                        ops_per_txn=2, mode="rmw")
-        measured["spanner"][n] = res.tps
-        for label, reconfig in (("ahl_fixed", False),
-                                ("ahl_reconfig", True)):
-            res = run_point(
-                "ahl", scale=scale, num_nodes=n, theta=theta,
-                ops_per_txn=2, mode="rmw",
-                measure_txns=max(800, scale.measure_txns // 2),
-                system_kwargs={"periodic_reconfig": reconfig},
-                costs=reconfig_costs if reconfig else None)
-            measured[label][n] = res.tps
-    return {"id": "fig14", "measured": measured, "paper": paper}
+                                       "instant_abort": True})),
+            weight=_weight("tidb", scale, ops_per_txn=2,
+                           num_nodes=max(3, shards))))
+        specs.append(PointSpec(
+            figure="fig14", key=("spanner", n), system="spanner", scale=scale,
+            params=(("num_nodes", n), ("theta", theta),
+                    ("ops_per_txn", 2), ("mode", "rmw")),
+            weight=_weight("spanner", scale, ops_per_txn=2, num_nodes=n)))
+        for label, reconfig in (("ahl_fixed", False), ("ahl_reconfig", True)):
+            measure = max(800, scale.measure_txns // 2)
+            params = [("num_nodes", n), ("theta", theta),
+                      ("ops_per_txn", 2), ("mode", "rmw"),
+                      ("measure_txns", measure),
+                      ("system_kwargs", {"periodic_reconfig": reconfig})]
+            if reconfig:
+                params.append(("costs", reconfig_costs))
+            specs.append(PointSpec(
+                figure="fig14", key=(label, n), system="ahl", scale=scale,
+                params=tuple(params),
+                weight=_weight("ahl", scale, measure, ops_per_txn=2,
+                               num_nodes=n)))
+    return specs
+
+
+def fig14_assemble(results: dict) -> dict:
+    measured: dict = {"tidb": {}, "spanner": {}, "ahl_fixed": {},
+                      "ahl_reconfig": {}}
+    for (label, n), res in results.items():
+        measured[label][n] = res.tps
+    return {"id": "fig14", "measured": measured, "paper": _FIG14_PAPER}
+
+
+def fig14_sharding(scale: Scale = BENCH,
+                   node_counts: tuple = (3, 12, 24, 36, 48),
+                   theta: float = 1.0) -> dict:
+    return fig14_assemble(_run_serial(fig14_points(scale, node_counts,
+                                                   theta)))
 
 
 # ---------------------------------------------------------------------------
 # Figure 15: hybrid forecast vs reported and vs simulated
 # ---------------------------------------------------------------------------
 
-def fig15_hybrid_forecast(scale: Scale = BENCH,
-                          simulate: bool = True,
-                          num_nodes: int = 4) -> dict:
+def fig15_points(scale: Scale = BENCH, simulate: bool = True,
+                 num_nodes: int = 4) -> list[PointSpec]:
+    if not simulate:
+        return []
+    specs = []
+    for name in REPORTED_THROUGHPUT:
+        # PoW commits arrive in bursts of whole blocks: measure over
+        # many blocks or the tps estimate is meaningless.
+        measure = (max(800, scale.measure_txns)
+                   if name == "blockchaindb" else scale.measure_txns)
+        specs.append(PointSpec(
+            figure="fig15", key=(name,), system=name, scale=scale,
+            params=(("num_nodes", num_nodes), ("measure_txns", measure)),
+            weight=_weight(name, scale, measure, num_nodes=num_nodes)))
+    return specs
+
+
+def fig15_assemble(results: dict, simulate: bool = True) -> dict:
     names = list(REPORTED_THROUGHPUT)
     forecasts = {n: forecast(TABLE2[n]) for n in names}
     out = {
@@ -387,15 +638,33 @@ def fig15_hybrid_forecast(scale: Scale = BENCH,
         "ranking": [f.system for f in rank([TABLE2[n] for n in names])],
     }
     if simulate:
-        measured = {}
-        for name in names:
-            # PoW commits arrive in bursts of whole blocks: measure over
-            # many blocks or the tps estimate is meaningless.
-            res = run_point(
-                name, scale=scale, num_nodes=num_nodes,
-                measure_txns=(max(800, scale.measure_txns)
-                              if name == "blockchaindb"
-                              else scale.measure_txns))
-            measured[name] = res.tps
-        out["simulated"] = measured
+        out["simulated"] = {name: res.tps
+                            for (name,), res in results.items()}
     return out
+
+
+def fig15_hybrid_forecast(scale: Scale = BENCH,
+                          simulate: bool = True,
+                          num_nodes: int = 4) -> dict:
+    return fig15_assemble(_run_serial(fig15_points(scale, simulate,
+                                                   num_nodes)),
+                          simulate=simulate)
+
+
+#: figure id -> (points enumerator, assembler); the sweep runner's menu.
+POINT_TABLES = {
+    "fig4": (fig4_points, fig4_assemble),
+    "fig5": (fig5_points, fig5_assemble),
+    "fig6": (fig6_points, fig6_assemble),
+    "fig7": (fig7_points, fig7_assemble),
+    "fig8": (fig8_points, fig8_assemble),
+    "tab4": (tab4_points, tab4_assemble),
+    "tab5": (tab5_points, tab5_assemble),
+    "fig9": (fig9_points, fig9_assemble),
+    "fig10": (fig10_points, fig10_assemble),
+    "fig11": (fig11_points, fig11_assemble),
+    "fig12": (fig12_points, fig12_assemble),
+    "fig13": (fig13_points, fig13_assemble),
+    "fig14": (fig14_points, fig14_assemble),
+    "fig15": (fig15_points, fig15_assemble),
+}

@@ -5,22 +5,31 @@ sweep over calls to :func:`run_point`.  A ``Scale`` bundles the knobs
 that trade fidelity for wall-clock time: tests use ``SMOKE``, the bench
 suite uses ``BENCH``, and ``PAPER`` approaches the paper's measurement
 sizes (minutes of wall-clock per point).
+
+The grid is *declarative*: every figure enumerates its measurement
+points as picklable :class:`PointSpec` records and folds the finished
+:class:`PointResult` values back into its artifact dict, so the same
+point tables drive the serial figure functions and the multiprocess
+sweep runner in :mod:`repro.bench.sweep` — one enumeration, two
+execution engines, byte-identical merged output.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import itertools
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..core.builder import build_system
 from ..sim.kernel import Environment
 from ..systems.base import SystemConfig
-from ..workloads.driver import DriverConfig, RunResult, run_closed_loop
+from ..workloads.driver import DriverConfig, RunResult, run_closed_loop, \
+    run_closed_loop_windowed
 from ..workloads.smallbank import SmallbankConfig, SmallbankWorkload
 from ..workloads.ycsb import YcsbConfig, YcsbWorkload
 
 __all__ = ["Scale", "SMOKE", "BENCH", "PAPER", "run_point",
-           "run_smallbank_point"]
+           "run_smallbank_point", "PointSpec", "PointResult", "run_spec"]
 
 #: Closed-loop client counts that saturate each system model.
 DEFAULT_CLIENTS = {
@@ -106,7 +115,15 @@ def run_point(
         max_sim_time=scale.max_sim_time,
         query_mode=(mode == "query"),
     )
-    result = run_closed_loop(env, sys_obj, maker, driver)
+    coupler = getattr(sys_obj, "coupler", None)
+    if coupler is not None:
+        # Conservative-parallel build (e.g. ahl with parallel=True): the
+        # shard pipelines live in worker processes, so the clock must
+        # advance in lookahead windows with barriers around each.
+        result = run_closed_loop_windowed(env, sys_obj, maker, coupler,
+                                          driver)
+    else:
+        result = run_closed_loop(env, sys_obj, maker, driver)
     result.extras["system"] = sys_obj
     return result
 
@@ -139,3 +156,126 @@ def run_smallbank_point(
     result = run_closed_loop(env, sys_obj, workload.next_transaction, driver)
     result.extras["system"] = sys_obj
     return result
+
+
+# ---------------------------------------------------------------------------
+# Declarative sweep points
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One measurement point of the figure grid, as picklable data.
+
+    A spec is everything a worker process needs to reproduce the exact
+    ``run_point`` / ``run_smallbank_point`` / inline-artifact call the
+    serial figure function makes: the runner kind, the system, the
+    :class:`Scale`, and the keyword arguments (``params``) in canonical
+    ``(name, value)`` pair form.  ``figure``/``key`` locate the result in
+    the assembled artifact dict; ``weight`` is a relative wall-cost
+    estimate used for longest-job-first scheduling.
+    """
+
+    figure: str
+    key: tuple
+    runner: str = "ycsb"       # "ycsb" | "smallbank" | "inline" | "chaos"
+    system: str = ""
+    scale: Optional[Scale] = None
+    params: tuple = ()         # ((name, value), ...) runner kwargs
+    fn: str = ""               # inline runner: experiments.<fn> to call
+    weight: float = 1.0
+
+    def kwargs(self) -> dict:
+        return dict(self.params)
+
+    @property
+    def label(self) -> str:
+        bits = "/".join(str(k) for k in self.key)
+        return f"{self.figure}:{bits}" if bits else self.figure
+
+
+@dataclass
+class PointResult:
+    """Picklable outcome of one executed :class:`PointSpec`.
+
+    Carries every field the figure assemblers read (so the live
+    ``RunResult`` — whose ``extras['system']`` holds the unpicklable
+    simulated cluster — never crosses a process boundary) plus the
+    seeded-fingerprint projection used by the sweep verifier.
+    """
+
+    figure: str
+    key: tuple
+    wall_s: float = 0.0
+    tps: float = 0.0
+    measured: int = 0
+    elapsed: float = 0.0
+    timeouts: int = 0
+    committed: int = 0
+    aborted: int = 0
+    abort_rate: float = 0.0
+    mean_latency: float = 0.0
+    abort_reasons: dict = field(default_factory=dict)
+    phase_means: dict = field(default_factory=dict)
+    payload: dict = field(default_factory=dict)   # inline/chaos output
+
+    @property
+    def fingerprint(self) -> dict:
+        """The exact projection the seeded fingerprint registry pins."""
+        return {"tps": repr(self.tps), "measured": self.measured,
+                "latency": repr(self.mean_latency), "aborted": self.aborted}
+
+
+def _reset_run_counters() -> None:
+    """Zero the process-global id counters before a point runs.
+
+    Message and transaction ids are identity-only (no simulation
+    semantics), but resetting them per point makes every point's id
+    sequence independent of which points ran earlier in the process —
+    the property that lets a sweep farm points to workers in any order
+    and still merge a trajectory byte-identical to a serial run.
+    """
+    from ..sim import network
+    from ..txn import transaction
+    network._msg_counter = itertools.count()
+    transaction._txn_counter = itertools.count(1)
+
+
+def _portable_result(spec: PointSpec, result: RunResult,
+                     wall_s: float) -> PointResult:
+    return PointResult(
+        figure=spec.figure, key=spec.key, wall_s=round(wall_s, 4),
+        tps=result.tps, measured=result.measured, elapsed=result.elapsed,
+        timeouts=result.timeouts, committed=result.stats.committed,
+        aborted=result.stats.aborted, abort_rate=result.abort_rate,
+        mean_latency=result.stats.latency.mean,
+        abort_reasons=dict(result.stats.abort_reasons),
+        phase_means=result.phase_means())
+
+
+def run_spec(spec: PointSpec) -> PointResult:
+    """Execute one :class:`PointSpec` and return its portable result.
+
+    This is the unit of work a sweep worker runs; the serial figure
+    functions call it too, so both engines execute the identical
+    harness-call sequence per point.
+    """
+    import time
+    _reset_run_counters()
+    start = time.perf_counter()
+    if spec.runner == "ycsb":
+        result = run_point(spec.system, scale=spec.scale, **spec.kwargs())
+        return _portable_result(spec, result, time.perf_counter() - start)
+    if spec.runner == "smallbank":
+        result = run_smallbank_point(spec.system, scale=spec.scale,
+                                     **spec.kwargs())
+        return _portable_result(spec, result, time.perf_counter() - start)
+    if spec.runner == "inline":
+        from . import experiments
+        payload = getattr(experiments, spec.fn)(**spec.kwargs())
+        return PointResult(figure=spec.figure, key=spec.key,
+                           wall_s=round(time.perf_counter() - start, 4),
+                           payload=payload)
+    if spec.runner == "chaos":
+        from .fingerprints import run_chaos_spec
+        return run_chaos_spec(spec, start)
+    raise ValueError(f"unknown runner {spec.runner!r}")

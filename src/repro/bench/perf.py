@@ -268,21 +268,51 @@ def bench_chaos(seed: int = 11) -> dict:
             "checks": result.checks, "digest": result.digest()}
 
 
-def run_perf(scale: Scale = BENCH) -> dict:
-    """Run every microbenchmark, scaled down for smoke runs."""
+def _perf_tasks(scale: Scale) -> list[tuple]:
+    """The microbenchmark plan as picklable ``(fn_name, kwargs)`` pairs."""
     small = scale.name == "smoke"
-    results = [
-        bench_kernel(events=50_000 if small else 200_000),
-        bench_mpt(writes=5_000 if small else 20_000),
-        bench_mbt(writes=10_000 if small else 50_000),
-        bench_zipf(draws=100_000 if small else 500_000),
-        bench_driver(scale=SMOKE if small else scale),
-        bench_fabric(scale=SMOKE if small else scale),
-        bench_scale(scale=SMOKE if small else scale),
-        *bench_db(scale=SMOKE if small else scale),
-        *bench_storage(scale=SMOKE if small else scale),
-        bench_chaos(),
+    run_scale = SMOKE if small else scale
+    return [
+        ("bench_kernel", {"events": 50_000 if small else 200_000}),
+        ("bench_mpt", {"writes": 5_000 if small else 20_000}),
+        ("bench_mbt", {"writes": 10_000 if small else 50_000}),
+        ("bench_zipf", {"draws": 100_000 if small else 500_000}),
+        ("bench_driver", {"scale": run_scale}),
+        ("bench_fabric", {"scale": run_scale}),
+        ("bench_scale", {"scale": run_scale}),
+        ("bench_db", {"scale": run_scale}),
+        ("bench_storage", {"scale": run_scale}),
+        ("bench_chaos", {}),
     ]
+
+
+def _run_perf_task(task: tuple):
+    name, kwargs = task
+    import repro.bench.perf as perf_mod
+    return perf_mod.__dict__[name](**kwargs)
+
+
+def run_perf(scale: Scale = BENCH, jobs: int = 1) -> dict:
+    """Run every microbenchmark, scaled down for smoke runs.
+
+    ``jobs > 1`` farms the benchmarks across a spawn-safe worker pool
+    (same machinery as the figure-grid sweep); serial (``jobs=1``, the
+    default) remains the budget-gate baseline, since co-scheduled
+    workers contend for cores and inflate individual wall numbers.  The
+    ``sim_tps``/``root``/``checksum``/``digest`` fingerprints are
+    execution-order independent and must match between the two modes.
+    """
+    tasks = _perf_tasks(scale)
+    if jobs <= 1:
+        outs = [_run_perf_task(t) for t in tasks]
+    else:
+        import multiprocessing as mp
+        ctx = mp.get_context("spawn")
+        with ctx.Pool(processes=jobs) as pool:
+            outs = pool.map(_run_perf_task, tasks, chunksize=1)
+    results: list[dict] = []
+    for out in outs:
+        results.extend(out if isinstance(out, list) else [out])
     return {
         "scale": scale.name,
         "total_wall_s": round(sum(r["wall_s"] for r in results), 3),

@@ -1,0 +1,226 @@
+"""Multiprocess figure-grid sweep: the whole paper in max-point time.
+
+The full grid (Figs 4-15, Tabs 4/5) is embarrassingly parallel across
+measurement points: every point is a self-contained seeded simulation.
+:func:`run_sweep` enumerates each figure's declarative
+:class:`~repro.bench.harness.PointSpec` table, farms the specs across a
+spawn-safe ``multiprocessing`` pool (longest-job-first, so wall time
+approaches the heaviest single point), verifies every finished point
+against the seeded fingerprint registry where a pin exists, and folds
+the results through the same per-figure assemblers the serial functions
+use — the merged trajectory is byte-identical to a serial run except
+for wall-clock fields.
+
+Usage::
+
+    python -m repro.bench --sweep --jobs 8            # full grid
+    python -m repro.bench --sweep --list              # point inventory
+    python -m repro.bench --sweep fig4 fig14 --scale smoke --jobs 2
+
+Determinism contract: per-point results do not depend on which process
+runs them or in what order (``run_spec`` resets the process-global id
+counters per point), results are merged by enumeration key rather than
+completion order, and :func:`deterministic_view` names exactly the
+fields that may differ between two runs (wall clocks and pool shape).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from .fingerprints import expected_for_spec, fingerprint_specs, \
+    fingerprints_assemble, verify_point
+from .harness import BENCH, PointResult, PointSpec, Scale, run_spec
+
+__all__ = ["enumerate_grid", "run_sweep", "write_sweep_trajectory",
+           "deterministic_view", "format_sweep", "SweepMismatch"]
+
+#: Report fields that legitimately differ between two equivalent runs:
+#: wall clocks, pool shape, and the file stamp.  Everything else must be
+#: byte-identical between a serial and a parallel sweep.
+WALL_CLOCK_FIELDS = ("jobs", "total_wall_s", "max_point_wall_s",
+                     "points_wall_s", "date")
+
+
+class SweepMismatch(AssertionError):
+    """A swept point disagreed with its seeded fingerprint pin."""
+
+
+def enumerate_grid(scale: Scale = BENCH,
+                   figures: Optional[list[str]] = None,
+                   with_fingerprints: bool = True) -> list[PointSpec]:
+    """Flatten the requested figures into one spec list, grid order.
+
+    ``figures=None`` means the whole grid.  The seeded fingerprint
+    registry rides along as one more figure (``"fingerprints"``) unless
+    disabled — it is the sweep's self-check that the simulator in this
+    checkout still reproduces the pinned universe.
+    """
+    from .experiments import POINT_TABLES
+    wanted = list(POINT_TABLES) if figures is None else list(figures)
+    specs: list[PointSpec] = []
+    for fig in wanted:
+        if fig == "fingerprints":
+            continue
+        points_fn, _assemble = POINT_TABLES[fig]
+        specs.extend(points_fn(scale))
+    if with_fingerprints and (figures is None or "fingerprints" in figures):
+        specs.extend(fingerprint_specs())
+    return specs
+
+
+def _assemblers() -> dict:
+    from .experiments import POINT_TABLES
+    table = {fig: assemble for fig, (_pts, assemble) in POINT_TABLES.items()}
+    table["fingerprints"] = fingerprints_assemble
+    return table
+
+
+def _worker_init() -> None:
+    """Per-worker warmup: pay the import bill before any timed point."""
+    import repro.bench.experiments   # noqa: F401  (pulls systems/workloads)
+    import repro.chaos               # noqa: F401
+    from repro.sim.kernel import Environment
+    Environment().run(until=0.0)     # touch the kernel's hot paths
+
+
+def _run_indexed(item: tuple) -> tuple:
+    idx, spec = item
+    print(f"[sweep] start  {spec.label}", file=sys.stderr, flush=True)
+    return idx, run_spec(spec)
+
+
+def _iter_pool(specs: list[PointSpec], jobs: int):
+    """Yield ``(idx, PointResult)`` as points finish, longest job first."""
+    order = sorted(range(len(specs)), key=lambda i: -specs[i].weight)
+    items = [(i, specs[i]) for i in order]
+    if jobs <= 1:
+        for item in items:
+            yield _run_indexed(item)
+        return
+    ctx = mp.get_context("spawn")
+    with ctx.Pool(processes=jobs, initializer=_worker_init) as pool:
+        yield from pool.imap_unordered(_run_indexed, items, chunksize=1)
+
+
+def run_sweep(scale: Scale = BENCH, jobs: int = 1,
+              figures: Optional[list[str]] = None,
+              verify: bool = True,
+              with_fingerprints: bool = True,
+              progress: Optional[Callable[[str], None]] = None) -> dict:
+    """Run the figure grid and return the merged trajectory report.
+
+    Points are executed longest-first across ``jobs`` worker processes
+    (``jobs <= 1`` runs in-process) and merged by enumeration key, so the
+    report is byte-identical for any ``jobs`` except the fields named in
+    :data:`WALL_CLOCK_FIELDS`.  With ``verify`` (the default), any point
+    whose canonical identity matches a seeded fingerprint pin is checked
+    and the first mismatch raises :class:`SweepMismatch` after the sweep
+    drains — a fingerprint drift is never reported as a finished sweep.
+    """
+    tell = progress if progress is not None else (
+        lambda line: print(line, file=sys.stderr, flush=True))
+    specs = enumerate_grid(scale, figures, with_fingerprints)
+    total_weight = sum(s.weight for s in specs) or 1.0
+    results: dict[int, PointResult] = {}
+    mismatches: list[str] = []
+    checked = 0
+    start = time.perf_counter()
+    done_weight = 0.0
+    for idx, result in _iter_pool(specs, jobs):
+        spec = specs[idx]
+        if result is None:     # worker died; surface as a hard failure
+            raise SweepMismatch(f"worker returned no result for {spec.label}")
+        results[idx] = result
+        done_weight += spec.weight
+        if verify and expected_for_spec(spec) is not None:
+            checked += 1
+            problem = verify_point(spec, result)
+            if problem is not None:
+                mismatches.append(problem)
+                tell(f"[sweep] FINGERPRINT MISMATCH {spec.label}: {problem}")
+        elapsed = time.perf_counter() - start
+        eta = elapsed / done_weight * (total_weight - done_weight)
+        tell(f"[sweep] finish {spec.label} in {result.wall_s:.2f}s "
+             f"({len(results)}/{len(specs)}, ETA {eta:.0f}s)")
+    wall = time.perf_counter() - start
+
+    assemblers = _assemblers()
+    by_figure: dict[str, dict] = {}
+    for idx, spec in enumerate(specs):      # enumeration order, not finish
+        by_figure.setdefault(spec.figure, {})[spec.key] = results[idx]
+    artifacts = {fig: assemblers[fig](res)
+                 for fig, res in by_figure.items()}
+
+    report = {
+        "kind": "sweep",
+        "scale": scale.name,
+        "figures": list(by_figure),
+        "points": len(specs),
+        "verified": checked - len(mismatches),
+        "mismatches": list(mismatches),
+        "artifacts": artifacts,
+        # wall-clock section (excluded from equivalence comparisons)
+        "jobs": jobs,
+        "total_wall_s": round(wall, 3),
+        "max_point_wall_s": round(
+            max((r.wall_s for r in results.values()), default=0.0), 3),
+        "points_wall_s": {specs[i].label: results[i].wall_s
+                          for i in range(len(specs))},
+    }
+    if mismatches:
+        raise SweepMismatch("; ".join(mismatches))
+    return report
+
+
+def deterministic_view(report: dict) -> dict:
+    """The report minus every field two equivalent runs may differ on."""
+    return {k: v for k, v in report.items() if k not in WALL_CLOCK_FIELDS}
+
+
+def write_sweep_trajectory(report: dict, out_dir: str = ".") -> Path:
+    """Persist ``SWEEP_<YYYY-MM-DD>.json`` (no-clobber, like perf's)."""
+    stamp = time.strftime("%Y-%m-%d")
+    path = Path(out_dir) / f"SWEEP_{stamp}.json"
+    run = 0
+    while path.exists():
+        run += 1
+        path = Path(out_dir) / f"SWEEP_{stamp}.{run}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    report = dict(report)
+    report["date"] = stamp
+    path.write_text(json.dumps(report, indent=2, default=str) + "\n")
+    return path
+
+
+def format_sweep(report: dict) -> str:
+    lines = [f"sweep trajectory ({report['scale']} scale, "
+             f"{report['points']} points, {report['jobs']} jobs, "
+             f"{report['total_wall_s']}s wall, "
+             f"max point {report['max_point_wall_s']}s)"]
+    for fig in report["figures"]:
+        walls = [w for label, w in report["points_wall_s"].items()
+                 if label.split(":")[0] == fig]
+        lines.append(f"  {fig:12s} {len(walls):3d} points "
+                     f"{sum(walls):8.2f}s")
+    if report["mismatches"]:
+        lines.append(f"  MISMATCHES: {len(report['mismatches'])}")
+    return "\n".join(lines)
+
+
+def format_inventory(scale: Scale = BENCH,
+                     figures: Optional[list[str]] = None,
+                     with_fingerprints: bool = True) -> str:
+    """The ``--sweep --list`` view: every point, no execution."""
+    specs = enumerate_grid(scale, figures, with_fingerprints)
+    lines = [f"{len(specs)} points at {scale.name} scale "
+             f"(total weight {sum(s.weight for s in specs):.1f})"]
+    for spec in specs:
+        lines.append(f"  {spec.label:40s} runner={spec.runner:9s} "
+                     f"weight={spec.weight:6.2f}")
+    return "\n".join(lines)

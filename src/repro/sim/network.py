@@ -150,6 +150,20 @@ class Network:
         self.messages_dropped = 0
         self.bytes_sent = 0
 
+    @property
+    def min_delay(self) -> float:
+        """Lower bound on any in-flight delivery delay, in seconds.
+
+        Every delivery pays at least ``costs.net_latency`` on the wire;
+        jitter and per-link gray delays only *add* to it.  This is the
+        conservative-lookahead authority for parallel execution
+        (:mod:`repro.sim.parallel`): a message sent at ``t`` cannot be
+        seen by its receiver before ``t + min_delay``, so logical
+        processes may safely advance ``min_delay`` past the last barrier
+        without waiting for each other.
+        """
+        return self.costs.net_latency
+
     # -- topology ---------------------------------------------------------
 
     def attach(self, node: Any) -> None:

@@ -1,0 +1,336 @@
+"""Conservative-lookahead parallel execution for sharded topologies.
+
+Classic Chandy–Misra–Bryant conservative parallel DES, specialised to
+the one topology this simulator has that is both expensive and cleanly
+decomposable: a hub (clients + coordinator + consensus committees) that
+talks to per-shard serial execute pipelines only through the network.
+:attr:`repro.sim.network.Network.min_delay` guarantees a message sent at
+``t`` is invisible to its receiver before ``t + min_delay``, so that
+delay is the lookahead window ``L``: the hub and every shard may each
+advance a full window past the last barrier without any risk of a
+straggler message arriving in their past.
+
+Topology and protocol::
+
+    hub Environment (driver, clients, 2PC coordinator, PBFT committee)
+      | exec requests sent in window k  -> deliver in shard window k+1
+      v
+    one worker process per shard, each owning its own Environment plus
+    a serial pipeline Resource and a replica of the reconfiguration
+    pause schedule
+      | completions finishing in window k -> deliver in hub window k+1
+      v
+    hub injects them as plain timers at their exact delivery instants
+
+Each round is lock-step: the hub runs its window ``(kL, (k+1)L]``, sends
+every worker the window boundary plus that worker's new arrivals, and
+each worker runs to the same boundary and replies with its completions.
+Determinism does not depend on process scheduling — workers are seeded
+deterministic simulations of their own, messages are exchanged only at
+barriers, and injections are sorted by ``(deliver_at, grant_time,
+send_index)`` so the merged timeline is reproducible bit-for-bit.
+
+The equivalence reference is the *single-heap lookahead mode* of the
+same system (e.g. ``AhlSystem(shard_lookahead=True)``), which charges
+the identical hub<->shard hops as plain timers in one heap; the
+differential tests in ``tests/integration/test_parallel_kernel.py``
+pin byte-identical :class:`~repro.workloads.driver.RunResult`\\ s.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Optional
+
+from .kernel import Environment, Event, subscribe
+from .resources import Resource
+
+__all__ = ["ShardCoupler"]
+
+
+class _Resolver:
+    """Callback shim: resolve a hub-side done event with its value."""
+
+    __slots__ = ("done", "value")
+
+    def __init__(self, done: Event, value):
+        self.done = done
+        self.value = value
+
+    def __call__(self, _ev: Event) -> None:
+        self.done._resolve(self.value)
+
+
+class ShardCoupler:
+    """Hub-side half of the conservative kernel.
+
+    The owning system routes every shard-execute request through
+    :meth:`exec_event` instead of running it on a hub-heap pipeline;
+    the driver loop (``run_closed_loop_windowed``) calls
+    :meth:`begin_window` / :meth:`end_window` around each ``env.run``
+    window.  Worker processes spawn lazily on the first barrier so a
+    constructed-but-unused coupler costs nothing.
+    """
+
+    def __init__(self, env: Environment, num_shards: int, window: float,
+                 period: float, pause: float,
+                 periodic_reconfig: bool = True):
+        if window <= 0:
+            raise ValueError(f"lookahead window must be positive: {window!r}")
+        self.env = env
+        self.num_shards = num_shards
+        self.window = window
+        self.period = period
+        self.pause = pause
+        self.periodic_reconfig = periodic_reconfig
+        self._next_idx = 0                     # global send index (tiebreak)
+        self._pending: dict[int, tuple] = {}   # idx -> (done event, value)
+        self._outbox: list[list] = [[] for _ in range(num_shards)]
+        self._inbox: list[tuple] = []          # (deliver_at, grant_time, idx)
+        self._conns: Optional[list] = None
+        self._procs: Optional[list] = None
+
+    # -- request side (called by the system's shard_exec_event) -----------
+
+    def exec_event(self, shard: int, cost: float, value=None,
+                   scheduled: bool = False) -> Event:
+        """Run one serial-pipeline slot of ``cost`` seconds on ``shard``.
+
+        Returns a hub-side event that resolves with ``value`` at the
+        exact instant the single-heap lookahead chain would have: one
+        ``window`` request hop, the shard's grant/pause-gate/execute
+        sequence, one ``window`` completion hop.
+        """
+        done = Event(self.env)
+        if scheduled:
+            # Same deferred-start position as _ShardExec(scheduled=True).
+            self.env._schedule_call(self._enqueue_deferred,
+                                    (shard, cost, done, value))
+        else:
+            self._enqueue(shard, cost, done, value)
+        return done
+
+    def _enqueue_deferred(self, args) -> None:
+        self._enqueue(*args)
+
+    def _enqueue(self, shard: int, cost: float, done: Event, value) -> None:
+        idx = self._next_idx
+        self._next_idx += 1
+        self._pending[idx] = (done, value)
+        self._outbox[shard].append((idx, self.env.now + self.window, cost))
+
+    # -- barrier protocol (called by the windowed driver loop) ------------
+
+    def begin_window(self, boundary: float) -> None:
+        """Inject completions due by ``boundary`` before running it.
+
+        Each becomes a plain timer at its exact delivery instant, so it
+        dispatches at the identical simulated time the single-heap
+        completion hop fired.  Injection order is the lexicographic sort
+        of ``(deliver_at, cost_start, grant_time, busy_root,
+        send_index)`` — the causal-lineage key that reproduces the
+        single-heap dispatch order for same-instant completions from
+        different shards (see :class:`_WorkerExec`), deterministic
+        across runs and independent of worker reply order.
+        """
+        inbox = self._inbox
+        if not inbox:
+            return
+        due = [entry for entry in inbox if entry[0] <= boundary]
+        if not due:
+            return
+        self._inbox = [entry for entry in inbox if entry[0] > boundary]
+        env = self.env
+        now = env.now
+        for entry in sorted(due):
+            done, value = self._pending.pop(entry[-1])
+            deliver_at = entry[0]
+            # deliver_at >= the last boundary by the lookahead guarantee;
+            # the max() guards the one-ulp float corner at equality.
+            timer = env.timeout_at(deliver_at if deliver_at > now else now)
+            timer.callbacks.append(_Resolver(done, value))
+
+    def end_window(self, boundary: float) -> None:
+        """Lock-step barrier: flush outboxes, collect completions.
+
+        Sends every worker ``("win", boundary, arrivals)`` — arrivals
+        generated this window deliver strictly inside the *next* one —
+        and blocks for each worker's completion batch, which becomes
+        injectable at the next :meth:`begin_window`.
+        """
+        if self._conns is None:
+            self._start()
+        for shard, conn in enumerate(self._conns):
+            conn.send(("win", boundary, self._outbox[shard]))
+            self._outbox[shard] = []
+        window = self.window
+        inbox = self._inbox
+        for conn in self._conns:
+            for idx, cost_start, grant, busy_root, finish in conn.recv():
+                inbox.append((finish + window, cost_start, grant,
+                              busy_root, idx))
+
+    # -- worker lifecycle -------------------------------------------------
+
+    def _start(self) -> None:
+        ctx = mp.get_context("spawn")
+        params = {"period": self.period, "pause": self.pause,
+                  "periodic_reconfig": self.periodic_reconfig}
+        self._conns, self._procs = [], []
+        for shard in range(self.num_shards):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=_shard_worker_main,
+                               args=(child, shard, params),
+                               name=f"shard-lp-{shard}", daemon=True)
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    def shutdown(self) -> None:
+        """Stop and reap the worker processes (idempotent)."""
+        conns, self._conns = self._conns, None
+        procs, self._procs = self._procs, None
+        if conns is None:
+            return
+        for conn in conns:
+            try:
+                conn.send(("stop", 0.0, []))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+
+
+# ---------------------------------------------------------------------------
+# Worker side: one logical process per shard, in its own OS process
+# ---------------------------------------------------------------------------
+
+
+class _ShardLP:
+    """A shard's logical process: serial pipeline + pause schedule.
+
+    Pure *timing* replica of the shard-local portion of the hub's
+    single-heap chain (grant -> pause gate -> execute cost -> release);
+    all state mutation (VersionedStore applies, commit bookkeeping)
+    stays hub-side, keyed off the completion instants reported here.
+    """
+
+    __slots__ = ("env", "pipeline", "completions", "busy_root", "_paused",
+                 "_resume_signal")
+
+    def __init__(self, env: Environment, period: float, pause: float,
+                 periodic_reconfig: bool):
+        self.env = env
+        self.pipeline = Resource(env, 1)
+        self.completions: list[tuple] = []
+        self.busy_root = 0.0   # when the current continuous-busy run began
+        self._paused = False
+        self._resume_signal: Optional[Event] = None
+        if periodic_reconfig:
+            # Structural replica of AhlSystem._reconfig_loop: the same
+            # alternating timeout(period - pause) / timeout(pause) sums,
+            # so float-accumulated epoch boundaries match the hub's
+            # exactly.  (Analytic k*period arithmetic would not.)
+            env.process(self._pause_loop(period, pause), name="shard-pause")
+
+    def _pause_loop(self, period: float, pause: float):
+        while True:
+            yield self.env.timeout(period - pause)
+            self._paused = True
+            yield self.env.timeout(pause)
+            self._paused = False
+            signal, self._resume_signal = self._resume_signal, None
+            if signal is not None and not signal.triggered:
+                signal.succeed()
+
+    def _wait_if_paused(self) -> Event:
+        if not self._paused:
+            return self.env.resolved()
+        if self._resume_signal is None:
+            self._resume_signal = self.env.event()
+        return self._resume_signal
+
+
+class _WorkerExec:
+    """One pipeline slot inside the worker — mirrors the hub's chain.
+
+    Besides the finish time, each completion reports its *causal
+    lineage*: ``cost_start`` (when the execute timer was created —
+    single-heap ties between same-instant completions resolve by the
+    seq order of those timers, i.e. by their creation instants),
+    ``grant_time`` (when chains from several shards park at the pause
+    gate, the single-heap resumes them in gate-subscription order =
+    grant order), and ``busy_root`` (when both of those tie — shards
+    marching in post-pause lockstep — the single-heap order is
+    inherited, release cascade by release cascade, from the instant
+    each shard's continuous-busy run began).  The hub sorts
+    same-instant injections by exactly this chain.
+    """
+
+    __slots__ = ("lp", "idx", "cost", "grant_time", "busy_root",
+                 "cost_start", "_req")
+
+    def __init__(self, lp: _ShardLP, idx: int, cost: float,
+                 deliver_at: float):
+        self.lp = lp
+        self.idx = idx
+        self.cost = cost
+        self.grant_time = 0.0
+        self.busy_root = 0.0
+        self.cost_start = 0.0
+        self._req = None
+        env = lp.env
+        timer = env.timeout_at(deliver_at if deliver_at > env.now
+                               else env.now)
+        timer.callbacks.append(self._arrived)
+
+    def _arrived(self, _ev: Event) -> None:
+        lp = self.lp
+        if lp.pipeline.in_use == 0:
+            lp.busy_root = lp.env.now   # fresh cascade: pipeline was idle
+        req = self._req = lp.pipeline.request()
+        subscribe(req, self._granted)
+
+    def _granted(self, _ev: Event) -> None:
+        lp = self.lp
+        self.grant_time = lp.env.now
+        self.busy_root = lp.busy_root
+        subscribe(lp._wait_if_paused(), self._unpaused)
+
+    def _unpaused(self, _ev: Event) -> None:
+        env = self.lp.env
+        self.cost_start = env.now
+        timer = env.timeout(self.cost)
+        timer.callbacks.append(self._served)
+
+    def _served(self, _ev: Event) -> None:
+        lp = self.lp
+        lp.pipeline.release(self._req)
+        lp.completions.append((self.idx, self.cost_start, self.grant_time,
+                               self.busy_root, lp.env.now))
+
+
+def _shard_worker_main(conn, shard_id: int, params: dict) -> None:
+    """Worker entry point (module-level: spawn pickles it by reference)."""
+    env = Environment()
+    lp = _ShardLP(env, params["period"], params["pause"],
+                  params["periodic_reconfig"])
+    try:
+        while True:
+            tag, boundary, arrivals = conn.recv()
+            if tag == "stop":
+                break
+            for idx, deliver_at, cost in arrivals:
+                _WorkerExec(lp, idx, cost, deliver_at)
+            env.run(until=boundary)
+            conn.send(lp.completions)
+            lp.completions = []
+    except EOFError:
+        pass  # hub died mid-run; nothing left to report to
+    finally:
+        conn.close()

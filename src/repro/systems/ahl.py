@@ -77,6 +77,63 @@ class _ShardExec:
         self.done._resolve(self.value)
 
 
+class _ShardExecLA:
+    """Lookahead-mode shard exec: same pipeline chain plus the two
+    hub<->shard network hops the default model elides.
+
+    One ``net_latency`` request hop before the pipeline and one
+    completion hop after release — physically real edges (the client
+    gateway and the shard are distinct machines) that make the shard a
+    *logical process* reachable only through the network, which is what
+    licenses conservative parallel execution: with every edge charged,
+    ``Network.min_delay`` bounds how far hub and shard may diverge.
+    This single-heap form is the equivalence reference the parallel
+    kernel (:class:`repro.sim.parallel.ShardCoupler`) must match
+    byte-for-byte.
+    """
+
+    __slots__ = ("system", "shard", "cost", "value", "done", "_req")
+
+    def __init__(self, system: "AhlSystem", shard: int, cost: float,
+                 value=None):
+        self.system = system
+        self.shard = shard
+        self.cost = cost
+        self.value = value
+        self.done = Event(system.env)
+        self._req = None
+
+    def start(self, scheduled: bool = False) -> Event:
+        if scheduled:
+            self.system.env._schedule_call(self._request_hop, None)
+        else:
+            self._request_hop(None)
+        return self.done
+
+    def _request_hop(self, _arg) -> None:
+        timer = self.system.env.timeout(self.system.costs.net_latency)
+        timer.callbacks.append(self._begin)
+
+    def _begin(self, _ev: Event) -> None:
+        req = self._req = self.system.shard_pipelines[self.shard].request()
+        subscribe(req, self._granted)
+
+    def _granted(self, _ev: Event) -> None:
+        subscribe(self.system._wait_if_paused(), self._unpaused)
+
+    def _unpaused(self, _ev: Event) -> None:
+        timer = self.system.env.timeout(self.cost)
+        timer.callbacks.append(self._served)
+
+    def _served(self, _ev: Event) -> None:
+        self.system.shard_pipelines[self.shard].release(self._req)
+        timer = self.system.env.timeout(self.system.costs.net_latency)
+        timer.callbacks.append(self._completed)
+
+    def _completed(self, _ev: Event) -> None:
+        self.done._resolve(self.value)
+
+
 class _AhlTxn:
     """One AHL transaction as a flat chain.
 
@@ -160,7 +217,17 @@ class AhlSystem(TransactionalSystem):
     NODES_PER_SHARD = 3  # Fig. 14 setup (TEEs allow small shards)
 
     def __init__(self, env: Environment, config: Optional[SystemConfig] = None,
-                 periodic_reconfig: bool = True):
+                 periodic_reconfig: bool = True,
+                 shard_lookahead: bool = False, parallel: bool = False):
+        """``shard_lookahead`` charges the hub<->shard network hops
+        (one ``net_latency`` each way per shard slot), making each shard
+        a network-isolated logical process; ``parallel`` additionally
+        runs each shard's pipeline in its own worker process behind a
+        :class:`~repro.sim.parallel.ShardCoupler` (implies
+        ``shard_lookahead`` — the hop model is what makes the two
+        execution strategies equivalent).  Both default off: the seeded
+        fingerprints pin the default (hopless, single-heap) model.
+        """
         super().__init__(env, config)
         if self.config.num_nodes % self.NODES_PER_SHARD:
             raise ValueError("num_nodes must be a multiple of 3 (Fig. 14)")
@@ -191,6 +258,14 @@ class AhlSystem(TransactionalSystem):
         if periodic_reconfig:
             self.spawn(self._reconfig_loop(), name="ahl-reconfig")
         self.cross_shard_txns = 0
+        self.shard_lookahead = shard_lookahead or parallel
+        self.coupler = None
+        if parallel:
+            from ..sim.parallel import ShardCoupler
+            self.coupler = ShardCoupler(
+                env, self.num_shards, window=self.network.min_delay,
+                period=self.reconfig.period, pause=self.reconfig.pause,
+                periodic_reconfig=periodic_reconfig)
 
     def load(self, records: dict[str, bytes]) -> None:
         for key, value in records.items():
@@ -235,7 +310,27 @@ class AhlSystem(TransactionalSystem):
         queued work cannot ride through it.
         """
         cost = self._txn_cost * (0.3 if commit else 1.0)
+        if self.coupler is not None:
+            return self.coupler.exec_event(shard, cost, value=value,
+                                           scheduled=scheduled)
+        if self.shard_lookahead:
+            return _ShardExecLA(self, shard, cost, value).start(scheduled)
         return _ShardExec(self, shard, cost, value).start(scheduled)
+
+    def shard_domains(self) -> dict:
+        """Decomposition metadata for the conservative parallel kernel.
+
+        Names the event domains that interact only through the network
+        and the lookahead window separating them.  The lookahead is zero
+        unless ``shard_lookahead`` charges the hub<->shard hops — in the
+        default model a shard slot starts the instant it is requested,
+        so there is no window to exploit.
+        """
+        return {
+            "domains": [f"ahl-shard-{i}" for i in range(self.num_shards)],
+            "lookahead": self.network.min_delay if self.shard_lookahead
+            else 0.0,
+        }
 
     def shard_exec_gen(self, shard: int, txn: Optional[Transaction],
                        commit: bool = False):

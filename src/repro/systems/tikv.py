@@ -393,6 +393,20 @@ class TikvSystem(TransactionalSystem):
     def load(self, records: dict[str, bytes]) -> None:
         self.cluster.load(records)
 
+    def shard_domains(self) -> dict:
+        """Decomposition metadata for the conservative parallel kernel.
+
+        One domain per Raft group.  Lookahead is zero: every node hosts
+        a replica of every group (full replication), so the domains
+        share apply threads and are not network-isolated — this topology
+        is *not* eligible for per-shard parallel execution.
+        """
+        return {
+            "domains": [f"tikv-group-{i}"
+                        for i in range(len(self.cluster.nodes))],
+            "lookahead": 0.0,
+        }
+
     def submit(self, txn: Transaction) -> Event:
         done = self.env.event()
         _Update(self, txn, done).start()

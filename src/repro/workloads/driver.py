@@ -26,7 +26,8 @@ from ..sim.metrics import TxnStats
 from ..txn.transaction import Transaction, TxnStatus
 from .ycsb import YcsbWorkload
 
-__all__ = ["DriverConfig", "RunResult", "run_closed_loop", "measure_system"]
+__all__ = ["DriverConfig", "RunResult", "run_closed_loop",
+           "run_closed_loop_windowed", "measure_system"]
 
 class _ClientCohort:
     """The client-multiplexer context shared by every slot of a run.
@@ -166,13 +167,36 @@ class RunResult:
                 for name, rec in self.stats.phase_latency.items()}
 
 
-def run_closed_loop(
+class _RunHandle:
+    """Everything a driver loop needs between set-up and the result.
+
+    Produced by :func:`prepare_closed_loop`; consumed by
+    :func:`finalize_closed_loop` once the simulation has been advanced —
+    in one ``env.run`` for the serial path, or window by window for the
+    conservative-parallel path.  Every statistic lives in ``state`` /
+    ``stats`` and is guarded by ``state["done"]``, so *how far past* the
+    finish point the simulation runs cannot change the result.
+    """
+
+    __slots__ = ("env", "cfg", "stats", "state", "finished",
+                 "watchdog_proc")
+
+    def __init__(self, env, cfg, stats, state, finished, watchdog_proc):
+        self.env = env
+        self.cfg = cfg
+        self.stats = stats
+        self.state = state
+        self.finished = finished
+        self.watchdog_proc = watchdog_proc
+
+
+def prepare_closed_loop(
     env: Environment,
     system,
     next_txn: Callable[[str], Transaction],
     config: Optional[DriverConfig] = None,
-) -> RunResult:
-    """Drive ``system`` with closed-loop clients and measure steady state.
+) -> _RunHandle:
+    """Set up clients, stats, and the watchdog; do not advance the clock.
 
     ``next_txn(client_name)`` produces the next transaction for a client.
     The run finishes when ``measure_txns`` post-warm-up completions are
@@ -244,13 +268,14 @@ def run_closed_loop(
             state["finished_at"] = env.now
 
     watchdog_proc = env.process(watchdog(), name="driver-watchdog")
-    # Stop simulating as soon as the watchdog fires: every statistic in the
-    # RunResult is final by then, and draining the remaining event horizon
-    # (idle consensus timers, heartbeats, stragglers) is pure wall-clock
-    # waste — it used to dominate short runs.
-    env.run(until=cfg.max_sim_time + cfg.txn_timeout + 1.0,
-            stop=watchdog_proc)
+    return _RunHandle(env, cfg, stats, state, finished, watchdog_proc)
 
+
+def finalize_closed_loop(handle: _RunHandle) -> RunResult:
+    """Assemble the :class:`RunResult` from a finished run's state."""
+    env = handle.env
+    state = handle.state
+    stats = handle.stats
     started = state["measure_started_at"]
     ended = state["finished_at"] if state["finished_at"] is not None else env.now
     if started is None or ended <= started:
@@ -268,6 +293,67 @@ def run_closed_loop(
         timeouts=state["timeouts"],
         extras={"completed_tps": state["measure_count"] / elapsed},
     )
+
+
+def run_closed_loop(
+    env: Environment,
+    system,
+    next_txn: Callable[[str], Transaction],
+    config: Optional[DriverConfig] = None,
+) -> RunResult:
+    """Drive ``system`` with closed-loop clients and measure steady state.
+
+    ``next_txn(client_name)`` produces the next transaction for a client.
+    The run finishes when ``measure_txns`` post-warm-up completions are
+    recorded (or the safety wall of ``max_sim_time`` is hit).
+    """
+    handle = prepare_closed_loop(env, system, next_txn, config)
+    cfg = handle.cfg
+    # Stop simulating as soon as the watchdog fires: every statistic in the
+    # RunResult is final by then, and draining the remaining event horizon
+    # (idle consensus timers, heartbeats, stragglers) is pure wall-clock
+    # waste — it used to dominate short runs.
+    env.run(until=cfg.max_sim_time + cfg.txn_timeout + 1.0,
+            stop=handle.watchdog_proc)
+    return finalize_closed_loop(handle)
+
+
+def run_closed_loop_windowed(
+    env: Environment,
+    system,
+    next_txn: Callable[[str], Transaction],
+    coupler,
+    config: Optional[DriverConfig] = None,
+) -> RunResult:
+    """Closed-loop measurement in conservative-lookahead windows.
+
+    Same clients, same watchdog, same result assembly as
+    :func:`run_closed_loop`, but the clock advances one lookahead window
+    at a time with a :class:`~repro.sim.parallel.ShardCoupler` barrier
+    around each: completions due in the window are injected before it
+    runs, requests generated during it are flushed to the shard workers
+    after.  The run ends at the first window boundary past the finish
+    point; the ``state["done"]`` guards make the extra tail a no-op for
+    the result, so the returned :class:`RunResult` is byte-identical to
+    the single-heap lookahead run's.
+    """
+    handle = prepare_closed_loop(env, system, next_txn, config)
+    cfg = handle.cfg
+    state = handle.state
+    window = coupler.window
+    horizon = cfg.max_sim_time + cfg.txn_timeout + 1.0
+    boundary = 0.0
+    try:
+        while not state["done"] and boundary < horizon:
+            boundary += window
+            coupler.begin_window(boundary)
+            env.run(until=boundary)
+            if state["done"]:
+                break
+            coupler.end_window(boundary)
+    finally:
+        coupler.shutdown()
+    return finalize_closed_loop(handle)
 
 
 def measure_system(

@@ -3,48 +3,26 @@
 A seeded chaos run must be byte-identical across repetitions: same
 injection log, same measured floats, same invariant verdicts — hence the
 same :meth:`ChaosResult.digest`.  Three scenarios across three systems
-and fault families keep the gate broad.
+and fault families keep the gate broad.  The scenarios and their pinned
+digests live in :mod:`repro.bench.fingerprints` so the multiprocess
+sweep runner re-verifies the same pins.
 """
 
 import pytest
 
-from repro.chaos import (Censor, CrashRestart, GrayNode, LeaderChurn,
-                         Partition, Scenario, run_chaos_point)
+from repro.bench.fingerprints import CHAOS_DIGESTS, CHAOS_SCENARIOS
+from repro.chaos import run_chaos_point
 
-SCENARIOS = {
-    "etcd-storm": dict(
-        system="etcd",
-        scenario=Scenario(
-            name="etcd-storm",
-            steps=(
-                Partition(at=1.0, group_a=("etcd1",),
-                          group_b=("etcd0", "etcd2", "etcd3", "etcd4"),
-                          until=2.5),
-                GrayNode(at=3.0, node="etcd2", extra_delay=0.002,
-                         drop_rate=0.05, until=4.0),
-                CrashRestart(at=4.5, node="etcd0", restart_at=5.5),
-            ),
-            settle=2.5),
-        kwargs=dict(extras={"wal": True})),
-    "etcd-churn": dict(
-        system="etcd",
-        scenario=Scenario(
-            name="etcd-churn",
-            steps=(LeaderChurn(at=1.0, until=5.0, period=2.0,
-                               downtime=0.5),),
-            settle=3.0),
-        kwargs=dict(extras={"wal": True})),
-    "quorum-censor": dict(
-        system="quorum",
-        scenario=Scenario(
-            name="quorum-censor",
-            steps=(Censor(at=1.0, match="", until=4.0),),
-            settle=4.0),
-        kwargs=dict(system_kwargs={"consensus": "ibft"})),
-}
+SCENARIOS = CHAOS_SCENARIOS
 
 
-@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_registry_shape():
+    assert set(CHAOS_DIGESTS) == {"etcd-storm", "etcd-churn",
+                                  "quorum-censor"}
+    assert set(SCENARIOS.keys()) == set(CHAOS_DIGESTS)
+
+
+@pytest.mark.parametrize("name", sorted(CHAOS_DIGESTS))
 def test_chaos_digest_repeats_byte_identical(name):
     spec = SCENARIOS[name]
     results = [run_chaos_point(spec["system"], spec["scenario"], seed=11,
@@ -54,6 +32,8 @@ def test_chaos_digest_repeats_byte_identical(name):
     assert first.violations == second.violations
     assert repr(first.run.tps) == repr(second.run.tps)
     assert first.digest() == second.digest()
+    assert first.digest() == CHAOS_DIGESTS[name], \
+        f"pinned chaos digest drifted for {name}"
     assert first.ok, f"violations: {first.violations}"
 
 

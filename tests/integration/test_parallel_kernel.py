@@ -1,0 +1,100 @@
+"""Equivalence gate for the conservative-lookahead parallel kernel.
+
+``AhlSystem(shard_lookahead=True)`` charges the hub<->shard network hops
+in a single heap; ``AhlSystem(parallel=True)`` runs the same model with
+one worker process per shard behind a
+:class:`repro.sim.parallel.ShardCoupler`.  The two must produce
+byte-identical :class:`~repro.workloads.driver.RunResult`\\ s — same
+``repr`` of every float — on a Fig. 14 topology across seeds, including
+the hard cases: cross-shard BFT-2PC legs and reconfiguration pauses
+that synchronize the shards into post-pause lockstep (where same-instant
+completion ordering is decided by causal lineage, not timestamps).
+"""
+
+import pytest
+
+from repro.bench.harness import Scale, run_point
+from repro.sim.costs import DEFAULT_COSTS
+
+# Small derived scale: the parallel run pays one barrier round-trip per
+# 150 microsecond lookahead window, so keep the simulated span short.
+DIFF_SCALE = Scale("diff", record_count=2_000, warmup_txns=10,
+                   measure_txns=80, max_sim_time=60.0)
+
+# Reconfiguration every 0.2 s (pause 0.05 s) so epochs land inside the
+# measured window — the paper-default 3 s period would never fire here.
+FAST_RECONFIG = DEFAULT_COSTS.derive(ahl_reconfig_period=0.2,
+                                     ahl_reconfig_pause=0.05)
+
+
+def _fields(result):
+    return (repr(result.tps), result.measured, repr(result.mean_latency),
+            result.stats.aborted, result.timeouts, repr(result.elapsed),
+            repr(result.extras.get("completed_tps")))
+
+
+def _run_pair(seed, ops_per_txn, costs=None):
+    kwargs = dict(scale=DIFF_SCALE, num_nodes=6, clients=24, mode="rmw",
+                  seed=seed, ops_per_txn=ops_per_txn)
+    if costs is not None:
+        kwargs["costs"] = costs
+    ref = run_point("ahl", system_kwargs={"shard_lookahead": True},
+                    **kwargs)
+    par = run_point("ahl", system_kwargs={"parallel": True}, **kwargs)
+    return ref, par
+
+
+@pytest.mark.parametrize("seed", [11, 23])
+def test_parallel_matches_single_heap(seed):
+    ref, par = _run_pair(seed, ops_per_txn=1)
+    assert ref.measured == DIFF_SCALE.measure_txns
+    assert _fields(ref) == _fields(par)
+
+
+def test_parallel_matches_with_cross_shard_and_pauses():
+    # ops_per_txn=2 forces cross-shard BFT-2PC; the fast reconfig costs
+    # put several pause epochs inside the run.  Both the single-heap and
+    # the parallel build must agree on everything, including how many
+    # transactions went cross-shard.
+    ref, par = _run_pair(seed=23, ops_per_txn=2, costs=FAST_RECONFIG)
+    assert ref.extras["system"].cross_shard_txns > 0
+    assert ref.extras["system"].cross_shard_txns \
+        == par.extras["system"].cross_shard_txns
+    assert _fields(ref) == _fields(par)
+
+
+def test_lookahead_mode_defaults_off():
+    # The seeded fingerprints pin the default (hopless) model: a plain
+    # build must not grow hops or a coupler.
+    ref = run_point("ahl", scale=DIFF_SCALE, num_nodes=6, clients=24,
+                    mode="rmw", seed=11)
+    system = ref.extras["system"]
+    assert system.shard_lookahead is False
+    assert system.coupler is None
+
+
+def test_shard_domains_metadata():
+    from repro.sim.kernel import Environment
+    from repro.core.builder import build_system
+    from repro.systems.base import SystemConfig
+
+    env = Environment()
+    ahl = build_system(env, "ahl", SystemConfig(num_nodes=6, seed=0),
+                       shard_lookahead=True)
+    domains = ahl.shard_domains()
+    assert domains["domains"] == ["ahl-shard-0", "ahl-shard-1"]
+    assert domains["lookahead"] == ahl.network.min_delay > 0.0
+
+    # Default (hopless) model: no window to exploit.
+    env2 = Environment()
+    plain = build_system(env2, "ahl", SystemConfig(num_nodes=6, seed=0))
+    assert plain.shard_domains()["lookahead"] == 0.0
+
+    # tikv / spanner name their decomposition but are not
+    # network-isolated: lookahead zero, parallel execution not licensed.
+    for name in ("tikv", "spanner"):
+        env3 = Environment()
+        sys_obj = build_system(env3, name, SystemConfig(num_nodes=6, seed=0))
+        meta = sys_obj.shard_domains()
+        assert len(meta["domains"]) > 0
+        assert meta["lookahead"] == 0.0

@@ -19,6 +19,11 @@ by design (measured index-commit deltas), so each carries its own
 fingerprint while the default-config points stay byte-identical to the
 pre-engine seed values.
 
+The registry itself lives in :mod:`repro.bench.fingerprints` so the
+multiprocess sweep runner verifies the same pins; this module asserts
+them one by one and guards the registry's shape so an edit can't
+silently shrink the gate.
+
 A mismatch means simulation *semantics* drifted — event ordering, batch
 boundaries, or timer behaviour — not just wall-clock performance.
 """
@@ -27,124 +32,21 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.harness import SMOKE, run_point
+from repro.bench.fingerprints import FINGERPRINTS, expected_for_spec, \
+    fingerprint_specs, verify_point
+from repro.bench.harness import SMOKE, run_point, run_spec
 
-#: (system, run_point overrides) -> exact reprs of the seeded RunResult.
-#: Overrides may carry a ``seed`` key (default 11).
-FINGERPRINTS = {
-    "etcd": (
-        dict(),
-        {"tps": "14886.968050392341", "measured": 300,
-         "latency": "0.003593996233866099", "aborted": 0},
-    ),
-    "etcd-seed23": (
-        dict(seed=23),
-        {"tps": "15086.19410627888", "measured": 300,
-         "latency": "0.0034337363636792926", "aborted": 0},
-    ),
-    "tikv": (
-        dict(),
-        {"tps": "13368.568083358427", "measured": 300,
-         "latency": "0.003680662781707489", "aborted": 0},
-    ),
-    "tikv-seed23": (
-        dict(seed=23),
-        {"tps": "13228.654035761656", "measured": 300,
-         "latency": "0.003683198564910847", "aborted": 0},
-    ),
-    "quorum": (
-        dict(),
-        {"tps": "211.07009842368518", "measured": 300,
-         "latency": "1.2094360582458945", "aborted": 0},
-    ),
-    "quorum-ibft": (
-        dict(system_kwargs={"consensus": "ibft"}),
-        {"tps": "203.58120437878924", "measured": 300,
-         "latency": "1.2750026434150334", "aborted": 0},
-    ),
-    "fabric": (
-        dict(),
-        {"tps": "1131.4258880742786", "measured": 300,
-         "latency": "0.1935465040231532", "aborted": 0},
-    ),
-    "tidb-skew": (
-        dict(theta=0.9, ops_per_txn=2),
-        {"tps": "140.44655946251711", "measured": 300,
-         "latency": "0.07854862944570291", "aborted": 38},
-    ),
-    "tidb-skew-seed23": (
-        dict(theta=0.9, ops_per_txn=2, seed=23),
-        {"tps": "182.64467607020674", "measured": 300,
-         "latency": "0.0942598491757825", "aborted": 39},
-    ),
-    # Spanner: 2 ops/txn so the cross-shard 2PC countdown chain (parallel
-    # prepare fan-out -> decision round -> commit fan-out) is exercised,
-    # not just the single-shard Paxos write.
-    "spanner": (
-        dict(num_nodes=6, ops_per_txn=2),
-        {"tps": "9407.547763374374", "measured": 300,
-         "latency": "0.011013308506666653", "aborted": 0},
-    ),
-    "spanner-seed23": (
-        dict(num_nodes=6, ops_per_txn=2, seed=23),
-        {"tps": "9451.093113429522", "measured": 300,
-         "latency": "0.010821730319999985", "aborted": 0},
-    ),
-    "veritas": (
-        dict(),
-        {"tps": "17238.46382539664", "measured": 300,
-         "latency": "0.003157095126561496", "aborted": 0},
-    ),
-    "bigchaindb": (
-        dict(),
-        {"tps": "1111.1111111110963", "measured": 300,
-         "latency": "0.27375982632021884", "aborted": 0},
-    ),
-    # Tendermint idle-skip mode (skip_empty_blocks=True) is outcome-
-    # changing by design, so it carries its own fingerprint rather than
-    # matching the flag-off point above.
-    "bigchaindb-idleskip": (
-        dict(system_kwargs={"spec": {"skip_empty_blocks": True}}),
-        {"tps": "1111.1111111110963", "measured": 300,
-         "latency": "0.27394187432021866", "aborted": 0},
-    ),
-    # ---- storage-engine points (PR 5) ----------------------------------
-    # Together with the defaults above, every Table 2 IndexKind carries a
-    # seeded fingerprint: LSM (quorum-lsm; also tikv's default engine),
-    # BTREE (etcd's default), SKIP_LIST (veritas' profile engine),
-    # LSM_MPT (quorum-mpt), LSM_MBT (fabric-mbt), BTREE_MERKLE
-    # (falcondb).  The quorum pair is the Fig. 12 ablation: the
-    # authenticated MPT point is measurably slower than plain LSM, the
-    # gap charged from the engine's measured hashes_computed deltas.
-    "quorum-lsm": (
-        dict(extras={"index": "lsm"}),
-        {"tps": "253.2335638216496", "measured": 300,
-         "latency": "1.1846167143957715", "aborted": 0},
-    ),
-    "quorum-mpt": (
-        dict(extras={"index": "lsm+mpt"}),
-        {"tps": "248.3648000661745", "measured": 300,
-         "latency": "1.2122787892757716", "aborted": 0},
-    ),
-    "fabric-mbt": (
-        dict(extras={"index": "lsm+mbt"}),
-        {"tps": "1042.4101946938674", "measured": 300,
-         "latency": "0.21218548258315303", "aborted": 0},
-    ),
-    # FalconDB hybrid: Tendermint backend + B-tree+Merkle overlay engine
-    # built straight from its Table 2 profile row.
-    "falcondb": (
-        dict(),
-        {"tps": "2140.6985989574905", "measured": 300,
-         "latency": "0.0866140615719453", "aborted": 0},
-    ),
-    # Group-committed WAL on the DB-side apply path (extras["wal"]).
-    "etcd-wal": (
-        dict(extras={"wal": True}),
-        {"tps": "8264.462809917415", "measured": 300,
-         "latency": "0.008071964502307342", "aborted": 0},
-    ),
+_EXPECTED_POINTS = {
+    "etcd", "etcd-seed23", "tikv", "tikv-seed23", "quorum", "quorum-ibft",
+    "fabric", "tidb-skew", "tidb-skew-seed23", "spanner", "spanner-seed23",
+    "veritas", "bigchaindb", "bigchaindb-idleskip", "quorum-lsm",
+    "quorum-mpt", "fabric-mbt", "falcondb", "etcd-wal",
 }
+
+
+def test_registry_shape():
+    assert set(FINGERPRINTS) == _EXPECTED_POINTS
+    assert len(FINGERPRINTS) == 19
 
 
 @pytest.mark.parametrize("point", sorted(FINGERPRINTS))
@@ -161,3 +63,22 @@ def test_run_point_fingerprint(point):
         "aborted": result.stats.aborted,
     }
     assert observed == expected, f"seeded RunResult drifted for {point}"
+
+
+def test_every_fingerprint_spec_matches_its_pin():
+    """Canonical matching round-trips: each registry spec finds its pin."""
+    specs = fingerprint_specs()
+    assert len(specs) == 19 + 3
+    for spec in specs:
+        pin = expected_for_spec(spec)
+        assert pin is not None, f"no pin matched for {spec.label}"
+        assert pin[0] == spec.key[0]
+
+
+def test_verify_point_catches_drift():
+    """verify_point passes the true result and flags a perturbed one."""
+    spec = next(s for s in fingerprint_specs() if s.key == ("etcd",))
+    result = run_spec(spec)
+    assert verify_point(spec, result) is None
+    result.tps += 1.0
+    assert "drifted" in (verify_point(spec, result) or "")

@@ -1,0 +1,56 @@
+"""Serial-vs-parallel equivalence for the multiprocess figure sweep.
+
+The sweep's contract is that ``--jobs N`` changes wall-clock time and
+nothing else: the merged trajectory must be field-for-field identical to
+a serial run except the wall-clock fields named in
+:data:`repro.bench.sweep.WALL_CLOCK_FIELDS`.  The fingerprint figure is
+the gate figure here — its 22 points (19 clean pins + 3 chaos digests)
+each verify against the seeded registry inside the sweep itself.
+"""
+
+import json
+
+from repro.bench.harness import SMOKE
+from repro.bench.sweep import (WALL_CLOCK_FIELDS, deterministic_view,
+                               enumerate_grid, format_inventory, run_sweep)
+
+
+def _quiet(_line):
+    pass
+
+
+def test_serial_and_parallel_sweeps_merge_identically():
+    serial = run_sweep(scale=SMOKE, jobs=1, figures=["fingerprints"],
+                       progress=_quiet)
+    parallel = run_sweep(scale=SMOKE, jobs=2, figures=["fingerprints"],
+                         progress=_quiet)
+    assert serial["verified"] == 22
+    assert serial["mismatches"] == []
+    assert parallel["verified"] == 22
+    # byte-identical modulo wall clocks: compare the canonical JSON of
+    # the deterministic views, which is what lands in SWEEP_*.json
+    view_s = json.dumps(deterministic_view(serial), default=str, indent=2)
+    view_p = json.dumps(deterministic_view(parallel), default=str, indent=2)
+    assert view_s == view_p
+    # and the excluded fields really are just the wall-clock section
+    assert set(serial) - set(deterministic_view(serial)) \
+        <= set(WALL_CLOCK_FIELDS)
+
+
+def test_enumerate_grid_covers_every_figure():
+    specs = enumerate_grid(SMOKE)
+    figures = {spec.figure for spec in specs}
+    assert figures == {"fig4", "fig5", "fig6", "fig7", "fig8", "tab4",
+                       "tab5", "fig9", "fig10", "fig11", "fig12", "fig13",
+                       "fig14", "fig15", "fingerprints"}
+    labels = [spec.label for spec in specs]
+    assert len(labels) == len(set(labels)), "duplicate point labels"
+    # the self-check figure carries all 22 pins
+    assert sum(1 for s in specs if s.figure == "fingerprints") == 22
+
+
+def test_inventory_lists_without_running():
+    text = format_inventory(SMOKE, figures=["fig14", "fingerprints"])
+    assert "fig14" in text
+    assert "fingerprints:etcd" in text
+    assert "weight=" in text

@@ -104,3 +104,22 @@ def test_storage_ablation_smoke_budget_and_direction():
     assert mpt["sim_tps"] < lsm["sim_tps"], (mpt, lsm)
     assert mpt["hashes_charged"] > 0
     assert lsm["hashes_charged"] == 0
+
+
+def test_isolation_ab_smoke_budget_and_direction():
+    from repro.bench.perf import bench_isolation
+    result = bench_isolation(scale=SMOKE, seed=7)
+    # Two quorum SmallBank points (~0.2s each on a dev box); 10x headroom
+    # for CI.  Guards the isolation schedulers — a per-transaction (vs
+    # per-block) scheduler pass or a quadratic MVSG build blows this.
+    assert result["wall_s"] < 4.0, result
+    # Direction: dropping first-committer-wins must buy throughput on the
+    # hot-account workload, and the anomaly detector must certify the
+    # trade is real — lost updates under read-committed, a clean
+    # serializable history.
+    rc = result["levels"]["read_committed"]
+    ser = result["levels"]["serializable"]
+    assert rc["sim_tps"] > ser["sim_tps"], result
+    assert rc["anomalies"]["lost_update"] > 0, result
+    assert ser["serializable_history"] is True, result
+    assert all(v == 0 for v in ser["anomalies"].values()), result

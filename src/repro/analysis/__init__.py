@@ -1,12 +1,22 @@
-"""Post-run analysis: bottleneck reports and serializability checking."""
+"""Post-run analysis: bottleneck reports, serializability/anomaly
+checking, and template robustness certification."""
 
 from .bottlenecks import BottleneckReport, ResourceUsage, analyze_system
-from .serializability import HistoryChecker, SerializabilityReport
+from .robustness import RobustnessReport, TxnTemplate, certify, \
+    smallbank_templates, ycsb_templates
+from .serializability import ANOMALY_KINDS, HistoryChecker, \
+    SerializabilityReport
 
 __all__ = [
+    "ANOMALY_KINDS",
     "BottleneckReport",
     "HistoryChecker",
     "ResourceUsage",
+    "RobustnessReport",
     "SerializabilityReport",
+    "TxnTemplate",
     "analyze_system",
+    "certify",
+    "smallbank_templates",
+    "ycsb_templates",
 ]

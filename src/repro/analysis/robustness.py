@@ -1,0 +1,244 @@
+"""Template robustness certification against weakened isolation levels.
+
+Decides *statically* — from a workload's transaction templates, before
+any run — whether executing it under read committed or snapshot
+isolation can ever produce a non-serializable history, à la Fekete et
+al.'s dangerous structures and Vandevoort et al.'s "Robustness against
+Read Committed for Transaction Templates" (PAPERS.md).  A workload
+certified **robust** at a level gets that level's throughput for free:
+every execution is still serializable, so the `isolation_ablation`
+experiment can label each (workload, level) cell as safe gain vs
+anomalies admitted.
+
+Model
+-----
+A :class:`TxnTemplate` abstracts a transaction program as read/write
+sets of ``(keyspace, param)`` atoms: ``keyspace`` partitions the
+database (e.g. SmallBank's checking vs savings rows — keys from
+different keyspaces never alias), ``param`` names the template
+parameter owning the key (keys bound to the same param are the same
+key; keys bound to different params *may* alias).  Edges of the static
+conflict graph come from unifying one template's read atom with
+another's write atom in the same keyspace.
+
+An rw conflict edge T1 -> T2 is **vulnerable** iff the two instances
+can both commit while running concurrently.  Under snapshot isolation
+that excludes pairs whose conflict unification forces a write-write
+overlap — first-committer/first-updater-wins aborts one of an
+overlapping concurrent pair, closing the race.  Under read committed
+there is no first-committer-wins, so *every* rw edge is vulnerable.
+Following Fekete's characterization:
+
+* robust against **snapshot isolation** iff no cycle in the conflict
+  graph carries two *consecutive* SI-vulnerable rw edges (the dangerous
+  structure behind write skew and the read-only-transaction anomaly);
+* robust against **read committed** iff no cycle carries any rw edge
+  at all — conservative (sound, may over-reject) but exact for the
+  update-heavy templates simulated here, where every classic RC
+  counterexample is a lost-update loop.
+
+Both tests run on the template graph itself (nodes are templates, not
+instances); reachability over conflict edges subsumes cycles through
+any number of instances of the same template.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import networkx as nx
+
+__all__ = ["TxnTemplate", "RobustnessReport", "certify",
+           "smallbank_templates", "ycsb_templates"]
+
+Atom = tuple[str, str]  # (keyspace, param)
+
+
+@dataclass(frozen=True)
+class TxnTemplate:
+    """One transaction program, abstracted to read/write atom sets."""
+
+    name: str
+    reads: tuple[Atom, ...] = ()
+    writes: tuple[Atom, ...] = ()
+
+    def all_reads(self) -> tuple[Atom, ...]:
+        """Read atoms including the read half of read-modify-writes."""
+        return self.reads
+
+
+@dataclass
+class RobustnessReport:
+    """Verdict of one certification run."""
+
+    level: str                       # "read_committed" | "snapshot"
+    robust: bool
+    templates: tuple[str, ...]
+    #: (T1, T2, keyspace) rw edges that can occur between concurrent
+    #: instances — the raw material of every counterexample.
+    vulnerable_edges: list[tuple[str, str, str]] = field(default_factory=list)
+    #: Template names along a witness cycle when not robust.
+    counterexample: Optional[list[str]] = None
+    #: Anomaly class the witness cycle predicts a run would admit.
+    predicted_anomaly: Optional[str] = None
+
+    def __str__(self) -> str:
+        verdict = "robust" if self.robust else "NOT robust"
+        detail = "" if self.robust else \
+            f" (witness {' -> '.join(self.counterexample or [])}: " \
+            f"{self.predicted_anomaly})"
+        return f"{{{', '.join(self.templates)}}} is {verdict} " \
+               f"against {self.level}{detail}"
+
+
+def _conflict_edges(templates: list[TxnTemplate]):
+    """Enumerate template-level conflict edges.
+
+    Yields ``(t1, t2, kind, keyspace, si_vulnerable)`` for every
+    ordered template pair (self-pairs included: two instances of one
+    template) whose atom sets can alias.  ``si_vulnerable`` is only
+    meaningful for rw edges; under read committed every rw edge is
+    vulnerable regardless.
+    """
+    for t1 in templates:
+        for t2 in templates:
+            # rw: a read of t1 unified with a write of t2
+            for (ks_r, p_r) in t1.all_reads():
+                for (ks_w, p_w) in t2.writes:
+                    if ks_r != ks_w:
+                        continue
+                    # Unifying the conflict atoms binds t1's p_r to
+                    # t2's p_w; under SI the edge is vulnerable unless
+                    # that binding already forces a write-write
+                    # overlap, which first-committer-wins turns into
+                    # an abort.
+                    ww_forced = any(
+                        (ks1, p_r) in t1.writes and (ks1, p_w) in t2.writes
+                        for ks1 in {ks for ks, _ in t1.writes})
+                    yield (t1.name, t2.name, "rw", ks_r, not ww_forced)
+            # ww / wr: any same-keyspace alias is a possible conflict
+            for (ks1, _p1) in t1.writes:
+                if any(ks1 == ks2 for ks2, _p2 in t2.writes):
+                    yield (t1.name, t2.name, "ww", ks1, False)
+                if any(ks1 == ks2 for ks2, _p2 in t2.all_reads()):
+                    yield (t1.name, t2.name, "wr", ks1, False)
+
+
+def _predict_anomaly(level: str, cycle: list[str]) -> str:
+    if level == "snapshot":
+        return "write_skew"
+    # RC witnesses over one or two distinct templates are update loops.
+    return "lost_update" if len(set(cycle)) <= 2 else "fractured_read"
+
+
+def certify(templates: Iterable[TxnTemplate], level: str) -> RobustnessReport:
+    """Certify a template set against one isolation level.
+
+    ``level`` is ``"read_committed"`` or ``"snapshot"``
+    (``"serializable"`` is trivially robust and accepted for symmetry).
+    """
+    templates = list(templates)
+    names = tuple(t.name for t in templates)
+    if level == "serializable":
+        return RobustnessReport(level=level, robust=True, templates=names)
+    if level not in ("read_committed", "snapshot"):
+        raise ValueError(f"unknown isolation level {level!r}")
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(names)
+    vulnerable: set[tuple[str, str, str]] = set()
+    for t1, t2, kind, keyspace, si_vuln in _conflict_edges(templates):
+        graph.add_edge(t1, t2)
+        if kind == "rw" and (level == "read_committed" or si_vuln):
+            vulnerable.add((t1, t2, keyspace))
+    vuln_pairs = {(a, b) for a, b, _ks in vulnerable}
+
+    def witness(path_from: str, path_to: str, prefix: list[str]) \
+            -> Optional[list[str]]:
+        """Close ``prefix`` into a cycle via a path back to its head."""
+        if path_from == path_to:
+            return prefix
+        if nx.has_path(graph, path_from, path_to):
+            middle = nx.shortest_path(graph, path_from, path_to)
+            return prefix + middle[1:]
+        return None
+
+    counterexample = None
+    if level == "read_committed":
+        # Not robust iff some cycle contains a vulnerable rw edge.
+        for (a, b) in sorted(vuln_pairs):
+            counterexample = witness(b, a, [a, b])
+            if counterexample:
+                break
+    else:  # snapshot
+        # Fekete dangerous structure: consecutive vulnerable rw edges
+        # a -> b -> c on some cycle (c may equal a).
+        for (a, b) in sorted(vuln_pairs):
+            for (b2, c) in sorted(vuln_pairs):
+                if b2 != b:
+                    continue
+                counterexample = witness(c, a, [a, b, c])
+                if counterexample:
+                    break
+            if counterexample:
+                break
+
+    robust = counterexample is None
+    return RobustnessReport(
+        level=level, robust=robust, templates=names,
+        vulnerable_edges=sorted(vulnerable),
+        counterexample=counterexample,
+        predicted_anomaly=None if robust
+        else _predict_anomaly(level, counterexample))
+
+
+# ---------------------------------------------------------------------------
+# Template builders for the workloads this library ships
+# ---------------------------------------------------------------------------
+
+def smallbank_templates(query_proportion: float = 0.0,
+                        procedures: Optional[Iterable[str]] = None) \
+        -> list[TxnTemplate]:
+    """SmallBank procedure templates (see ``workloads/smallbank.py``).
+
+    Keyspaces: ``c`` (checking rows) and ``s`` (savings rows); params
+    name the customer arguments.  ``query_proportion > 0`` adds the
+    read-only Balance template — the ingredient of the classic
+    read-only-transaction anomaly under SI.
+    """
+    catalog = {
+        "transact_savings": TxnTemplate(
+            "transact_savings", reads=(("s", "u"),), writes=(("s", "u"),)),
+        "deposit_checking": TxnTemplate(
+            "deposit_checking", reads=(("c", "u"),), writes=(("c", "u"),)),
+        "send_payment": TxnTemplate(
+            "send_payment",
+            reads=(("c", "a"), ("c", "b")), writes=(("c", "a"), ("c", "b"))),
+        "write_check": TxnTemplate(
+            "write_check",
+            reads=(("c", "u"), ("s", "u")), writes=(("c", "u"),)),
+        "amalgamate": TxnTemplate(
+            "amalgamate",
+            reads=(("s", "a"), ("c", "a"), ("c", "b")),
+            writes=(("s", "a"), ("c", "a"), ("c", "b"))),
+    }
+    names = list(procedures) if procedures is not None else list(catalog)
+    templates = [catalog[name] for name in names]
+    if query_proportion > 0:
+        templates.append(TxnTemplate(
+            "balance", reads=(("c", "u"), ("s", "u"))))
+    return templates
+
+
+def ycsb_templates(mode: str = "update") -> list[TxnTemplate]:
+    """YCSB templates: blind writes (``update``), read-modify-writes
+    (``rmw``), or pure reads (``query``)."""
+    if mode == "update":
+        return [TxnTemplate("ycsb_update", writes=(("k", "k"),))]
+    if mode == "rmw":
+        return [TxnTemplate("ycsb_rmw",
+                            reads=(("k", "k"),), writes=(("k", "k"),))]
+    if mode == "query":
+        return [TxnTemplate("ycsb_query", reads=(("k", "k"),))]
+    raise ValueError(f"unknown ycsb mode {mode!r}")

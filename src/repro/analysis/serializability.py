@@ -16,18 +16,46 @@ Nodes are committed transactions; edges:
 Acyclicity of this graph is equivalent to (view) serializability for
 histories with a total version order per key — which the versioned
 stores in this library guarantee.
+
+Beyond the yes/no check, :meth:`HistoryChecker.check` enumerates every
+minimal (simple) cycle and classifies each into the classic weak-isolation
+anomalies, so runs under ``extras["isolation"]`` report *which* hazards a
+level admitted, not just that one exists:
+
+* **lost update** — a 2-cycle carrying both an rw and a ww edge: two
+  transactions read the same version of an item and both overwrote it.
+* **write skew** — two consecutive rw (anti-dependency) edges somewhere
+  in the cycle: the SI-only hazard (disjoint writes from a shared
+  snapshot).
+* **fractured read** — a cycle mixing rw with wr: a reader observed one
+  transaction's write but missed another (non-repeatable / fractured
+  visibility).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Iterable, Optional
 
 import networkx as nx
 
 from ..txn.transaction import Transaction, TxnStatus
 
-__all__ = ["HistoryChecker", "SerializabilityReport"]
+__all__ = ["ANOMALY_KINDS", "HistoryChecker", "SerializabilityReport"]
+
+#: Anomaly classes reported per-cycle (plus a catch-all).
+ANOMALY_KINDS = ("lost_update", "write_skew", "fractured_read", "other")
+
+# Cycle enumeration bounds: anomalies manifest as short cycles (2-3 for
+# the canonical hazards); the bound keeps simple_cycles polynomial on the
+# dense graphs a contended run produces.
+_CYCLE_LENGTH_BOUND = 6
+_CYCLE_LIMIT = 10_000
+
+
+def zero_anomalies() -> dict[str, int]:
+    return {kind: 0 for kind in ANOMALY_KINDS}
 
 
 @dataclass
@@ -40,6 +68,15 @@ class SerializabilityReport:
     cycle: Optional[list[int]] = None
     equivalent_order: Optional[list[int]] = None
     notes: list[str] = field(default_factory=list)
+    #: Every minimal cycle found (``cycle`` is the first, kept for
+    #: callers that only want a witness).
+    cycles: list[list[int]] = field(default_factory=list)
+    #: Cycle count per anomaly class; all-zero when serializable.
+    anomalies: dict[str, int] = field(default_factory=zero_anomalies)
+
+    @property
+    def anomaly_count(self) -> int:
+        return sum(self.anomalies.values())
 
 
 class HistoryChecker:
@@ -57,6 +94,16 @@ class HistoryChecker:
         for txn in txns:
             self.observe(txn)
 
+    @staticmethod
+    def _write_stamp(txn: Transaction, key: str) -> int:
+        """Version installed for ``key`` — per-key stamp when the system
+        applied writes at distinct versions (tikv's per-raft-apply
+        stamps), else the transaction-wide commit version."""
+        per_key = txn.write_versions
+        if per_key:
+            return per_key.get(key, txn.commit_version)
+        return txn.commit_version
+
     def _build_graph(self) -> tuple[nx.DiGraph, list[str]]:
         graph = nx.DiGraph()
         notes: list[str] = []
@@ -65,40 +112,74 @@ class HistoryChecker:
         writer_of: dict[tuple[str, int], int] = {}
         skipped = 0
         for txn in self._txns:
-            if txn.write_set and txn.commit_version <= 0:
+            if txn.write_set and txn.commit_version <= 0 \
+                    and not txn.write_versions:
                 skipped += 1
                 continue
             graph.add_node(txn.txn_id)
-            stamp = txn.commit_version
             for key in txn.write_set:
+                stamp = self._write_stamp(txn, key)
                 writes.setdefault(key, []).append((stamp, txn.txn_id))
                 writer_of[(key, stamp)] = txn.txn_id
         if skipped:
             notes.append(f"skipped {skipped} txns without commit stamps")
         for versions in writes.values():
             versions.sort()
+
+        def add_edge(t1, t2, kind, key):
+            data = graph.get_edge_data(t1, t2)
+            if data is None:
+                # ``kind`` keeps the first-discovered dependency for
+                # existing callers; ``kinds`` accumulates every parallel
+                # dependency between the pair for anomaly classification.
+                graph.add_edge(t1, t2, kind=kind, kinds={kind}, key=key)
+            else:
+                data["kinds"].add(kind)
+
         # ww edges along each key's version chain
         for key, versions in writes.items():
             for (v1, t1), (v2, t2) in zip(versions, versions[1:]):
                 if t1 != t2:
-                    graph.add_edge(t1, t2, kind="ww", key=key)
+                    add_edge(t1, t2, "ww", key)
         # wr and rw edges from read sets
         for txn in self._txns:
-            if txn.write_set and txn.commit_version <= 0:
+            if txn.write_set and txn.commit_version <= 0 \
+                    and not txn.write_versions:
                 continue
             for key, seen_version in txn.read_set.items():
                 writer = writer_of.get((key, seen_version))
                 if writer is not None and writer != txn.txn_id:
-                    graph.add_edge(writer, txn.txn_id, kind="wr", key=key)
+                    add_edge(writer, txn.txn_id, "wr", key)
                 for version, later_writer in writes.get(key, ()):
                     if version > seen_version \
                             and later_writer != txn.txn_id:
-                        graph.add_edge(txn.txn_id, later_writer,
-                                       kind="rw", key=key)
+                        add_edge(txn.txn_id, later_writer, "rw", key)
         return graph, notes
 
+    @staticmethod
+    def _classify_cycle(graph: nx.DiGraph, cycle: list[int]) -> str:
+        """Label one minimal MVSG cycle with its anomaly class."""
+        kindsets = [graph.edges[u, v]["kinds"]
+                    for u, v in zip(cycle, cycle[1:] + cycle[:1])]
+        has_rw = ["rw" in ks for ks in kindsets]
+        if len(cycle) == 2 and any(has_rw) \
+                and any("ww" in ks for ks in kindsets):
+            return "lost_update"
+        n = len(kindsets)
+        if any(has_rw[i] and has_rw[(i + 1) % n] for i in range(n)):
+            return "write_skew"
+        if any(has_rw) and any("wr" in ks for ks in kindsets):
+            return "fractured_read"
+        return "other"
+
     def check(self) -> SerializabilityReport:
-        """Verify the observed history; includes a witness order or cycle."""
+        """Verify the observed history; includes a witness order or cycle.
+
+        Non-serializable histories report *every* minimal cycle (up to a
+        length bound — the canonical anomalies are 2-3 cycles — and an
+        enumeration cap, noted when hit) with per-anomaly counts, so a
+        run under weakened isolation quantifies exactly what it admitted.
+        """
         graph, notes = self._build_graph()
         try:
             order = list(nx.topological_sort(graph))
@@ -110,11 +191,29 @@ class HistoryChecker:
                 notes=notes,
             )
         except nx.NetworkXUnfeasible:
-            cycle = [u for u, _v in nx.find_cycle(graph)]
+            cycles = [list(c) for c in islice(
+                nx.simple_cycles(graph, length_bound=_CYCLE_LENGTH_BOUND),
+                _CYCLE_LIMIT)]
+            if len(cycles) == _CYCLE_LIMIT:
+                notes.append(
+                    f"cycle enumeration capped at {_CYCLE_LIMIT}; "
+                    "anomaly counts are a lower bound")
+            if not cycles:
+                # Every cycle is longer than the bound; fall back to one
+                # witness so the report still carries a concrete cycle.
+                cycles = [[u for u, _v in nx.find_cycle(graph)]]
+                notes.append(
+                    f"no cycle within length {_CYCLE_LENGTH_BOUND}; "
+                    "reporting one unbounded witness")
+            anomalies = zero_anomalies()
+            for cyc in cycles:
+                anomalies[self._classify_cycle(graph, cyc)] += 1
             return SerializabilityReport(
                 serializable=False,
                 txn_count=len(self._txns),
                 edge_count=graph.number_of_edges(),
-                cycle=cycle,
+                cycle=cycles[0],
+                cycles=cycles,
+                anomalies=anomalies,
                 notes=notes,
             )

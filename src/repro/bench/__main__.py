@@ -44,6 +44,7 @@ EXPERIMENTS = {
     "fig13": experiments.fig13_ads_overhead,
     "fig14": experiments.fig14_sharding,
     "fig15": experiments.fig15_hybrid_forecast,
+    "isolation_ablation": experiments.isolation_ablation,
 }
 
 SCALES = {"smoke": SMOKE, "bench": BENCH, "paper": PAPER}

@@ -36,7 +36,7 @@ __all__ = [
     "fig7_cft_vs_bft", "fig8_latency_breakdown", "tab4_scaling",
     "tab5_tidb_matrix", "fig9_skew", "fig10_opcount", "fig11_record_size",
     "fig12_storage", "fig13_ads_overhead", "fig14_sharding",
-    "fig15_hybrid_forecast", "POINT_TABLES",
+    "fig15_hybrid_forecast", "isolation_ablation", "POINT_TABLES",
 ]
 
 FOUR_SYSTEMS = ("fabric", "quorum", "tidb", "etcd")
@@ -651,6 +651,81 @@ def fig15_hybrid_forecast(scale: Scale = BENCH,
                           simulate=simulate)
 
 
+# ---------------------------------------------------------------------------
+# Isolation ablation: throughput gained vs anomalies admitted
+# ---------------------------------------------------------------------------
+
+#: The isolation spectrum ``extras["isolation"]`` accepts, strongest first.
+_ISOLATION_LEVELS = ("serializable", "snapshot", "read_committed")
+
+
+def isolation_points(scale: Scale = BENCH) -> list[PointSpec]:
+    """The isolation-spectrum grid: workload x system x level.
+
+    YCSB read-modify-write under skew runs on all four wired systems
+    (the certifier proves rmw robust against SI, so only read-committed
+    rows should admit anomalies — lost updates).  Smallbank update-only
+    runs on quorum (certified robust against SI); the balance-mixed
+    variant runs on etcd, where the certifier's SI counterexample — the
+    read-only write-skew anomaly — is realizable and observable.  Every
+    YCSB row at SMOKE scale doubles as a seeded-fingerprint pin.
+    """
+    specs = []
+    for system in ("etcd", "tikv", "tidb", "quorum"):
+        base = [("mode", "rmw"), ("theta", 0.9), ("seed", 11)]
+        if system == "tidb":
+            base.append(("ops_per_txn", 2))
+        for level in _ISOLATION_LEVELS:
+            specs.append(PointSpec(
+                figure="isolation_ablation",
+                key=("ycsb-rmw", system, level),
+                runner="ycsb", system=system, scale=scale,
+                params=tuple(base) + (("extras", {"isolation": level}),),
+                weight=_weight(system, scale)))
+    for level in _ISOLATION_LEVELS:
+        specs.append(PointSpec(
+            figure="isolation_ablation",
+            key=("smallbank", "quorum", level),
+            runner="smallbank", system="quorum", scale=scale,
+            params=(("num_accounts", 200), ("theta", 0.9), ("seed", 11),
+                    ("extras", {"isolation": level})),
+            weight=_weight("quorum", scale)))
+        specs.append(PointSpec(
+            figure="isolation_ablation",
+            key=("smallbank-mix", "etcd", level),
+            runner="smallbank", system="etcd", scale=scale,
+            params=(("num_accounts", 50), ("theta", 1.0),
+                    ("query_proportion", 0.4), ("seed", 11),
+                    ("extras", {"isolation": level})),
+            weight=_weight("etcd", scale)))
+    return specs
+
+
+def isolation_assemble(results: dict) -> dict:
+    rows: dict = {}
+    for (workload, system, level), res in results.items():
+        row = rows.setdefault(f"{workload}/{system}", {})
+        anomalies = (res.payload or {}).get("anomalies") or {}
+        row[level] = {
+            "tps": res.tps,
+            "aborted": res.aborted,
+            "serializable": (res.payload or {}).get(
+                "serializable_history"),
+            "anomalies": {k: v for k, v in anomalies.items() if v},
+        }
+    for row in rows.values():
+        base = row["serializable"]["tps"] if "serializable" in row else 0.0
+        for cell in row.values():
+            cell["speedup_vs_serializable"] = (
+                round(cell["tps"] / base, 3) if base else None)
+    return {"id": "isolation_ablation", "rows": rows}
+
+
+def isolation_ablation(scale: Scale = BENCH) -> dict:
+    """Run the whole isolation-spectrum point table serially."""
+    return isolation_assemble(_run_serial(isolation_points(scale)))
+
+
 #: figure id -> (points enumerator, assembler); the sweep runner's menu.
 POINT_TABLES = {
     "fig4": (fig4_points, fig4_assemble),
@@ -667,4 +742,5 @@ POINT_TABLES = {
     "fig13": (fig13_points, fig13_assemble),
     "fig14": (fig14_points, fig14_assemble),
     "fig15": (fig15_points, fig15_assemble),
+    "isolation_ablation": (isolation_points, isolation_assemble),
 }

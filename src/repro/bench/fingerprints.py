@@ -2,9 +2,9 @@
 
 One module owns every pinned expectation:
 
-* :data:`FINGERPRINTS` — 19 seeded ``RunResult`` projections (SMOKE
-  scale, exact float reprs) across every consensus substrate and
-  Table 2 storage engine.  ``tests/integration/test_run_fingerprints.py``
+* :data:`FINGERPRINTS` — 27 seeded ``RunResult`` projections (SMOKE
+  scale, exact float reprs) across every consensus substrate, Table 2
+  storage engine, and weakened isolation level.  ``tests/integration/test_run_fingerprints.py``
   asserts them one by one; the multiprocess sweep runner
   (:mod:`repro.bench.sweep`) re-checks any point it executes whose
   canonical identity matches an entry.
@@ -148,6 +148,61 @@ FINGERPRINTS = {
         {"tps": "8264.462809917415", "measured": 300,
          "latency": "0.008071964502307342", "aborted": 0},
     ),
+    # ---- isolation-spectrum points (PR 8) ------------------------------
+    # Every (system, weakened level) pair on the extras["isolation"] axis
+    # carries a seeded pin at the isolation_ablation table's YCSB-rmw
+    # parameters, so the in-sweep verifier covers the weak paths too.
+    # (isolation="serializable" intentionally has no pin of its own: it
+    # must match the default-path pins above byte for byte, which
+    # tests/integration/test_isolation.py asserts.)
+    "etcd-si": (
+        dict(mode="rmw", theta=0.9,
+             extras={"isolation": "snapshot"}),
+        {"tps": "12040.095468072677", "measured": 300,
+         "latency": "0.0034469891348268273", "aborted": 59},
+    ),
+    "etcd-rc": (
+        dict(mode="rmw", theta=0.9,
+             extras={"isolation": "read_committed"}),
+        {"tps": "14987.67070714441", "measured": 300,
+         "latency": "0.0034103279913458295", "aborted": 0},
+    ),
+    "tikv-si": (
+        dict(mode="rmw", theta=0.9,
+             extras={"isolation": "snapshot"}),
+        {"tps": "13089.889260800555", "measured": 300,
+         "latency": "0.003046512534484722", "aborted": 79},
+    ),
+    "tikv-rc": (
+        dict(mode="rmw", theta=0.9,
+             extras={"isolation": "read_committed"}),
+        {"tps": "13209.891620025905", "measured": 300,
+         "latency": "0.003610046163394784", "aborted": 0},
+    ),
+    "tidb-si": (
+        dict(mode="rmw", theta=0.9, ops_per_txn=2,
+             extras={"isolation": "snapshot"}),
+        {"tps": "116.00953006264842", "measured": 300,
+         "latency": "0.10855532476712548", "aborted": 25},
+    ),
+    "tidb-rc": (
+        dict(mode="rmw", theta=0.9, ops_per_txn=2,
+             extras={"isolation": "read_committed"}),
+        {"tps": "2610.6368714092337", "measured": 300,
+         "latency": "0.026763187307412954", "aborted": 0},
+    ),
+    "quorum-si": (
+        dict(mode="rmw", theta=0.9,
+             extras={"isolation": "snapshot"}),
+        {"tps": "626.6230655081155", "measured": 300,
+         "latency": "0.32192393101337247", "aborted": 99},
+    ),
+    "quorum-rc": (
+        dict(mode="rmw", theta=0.9,
+             extras={"isolation": "read_committed"}),
+        {"tps": "935.2583067285306", "measured": 300,
+         "latency": "0.2989892643560763", "aborted": 0},
+    ),
 }
 
 
@@ -275,7 +330,7 @@ def expected_for_spec(spec: PointSpec) -> Optional[tuple]:
     """Return ``(name, expectation)`` if a pin covers this spec.
 
     YCSB specs at SMOKE scale are canonicalised (overrides folded over
-    ``run_point`` defaults) and looked up against the 19 seeded
+    ``run_point`` defaults) and looked up against the 27 seeded
     ``RunResult`` projections; chaos specs resolve by scenario name to a
     pinned digest.  Everything else — other scales, other seeds — has no
     pin and returns ``None``.

@@ -63,6 +63,20 @@ PAPER = Scale("paper", record_count=100_000, warmup_txns=1_000,
               measure_txns=10_000, max_sim_time=600.0, repeats=3)
 
 
+def _attach_history(result: RunResult, sys_obj) -> None:
+    """Fold the run's anomaly report into picklable extras.
+
+    Systems create a history checker iff the config carries an
+    ``isolation`` key, so default runs skip this entirely and runs on
+    the spectrum report what the chosen level admitted.
+    """
+    history = getattr(sys_obj, "history", None)
+    if history is not None:
+        report = history.check()
+        result.extras["anomalies"] = dict(report.anomalies)
+        result.extras["serializable_history"] = report.serializable
+
+
 def run_point(
     system: str,
     scale: Scale = BENCH,
@@ -125,6 +139,7 @@ def run_point(
     else:
         result = run_closed_loop(env, sys_obj, maker, driver)
     result.extras["system"] = sys_obj
+    _attach_history(result, sys_obj)
     return result
 
 
@@ -134,16 +149,26 @@ def run_smallbank_point(
     num_nodes: int = 5,
     num_accounts: int = 100_000,
     theta: float = 1.0,
+    query_proportion: float = 0.0,
     clients: Optional[int] = None,
     seed: int = 0,
     system_kwargs: Optional[dict] = None,
+    extras: Optional[dict] = None,
 ) -> RunResult:
-    """Run one Smallbank measurement point (Fig. 6)."""
+    """Run one Smallbank measurement point (Fig. 6).
+
+    ``query_proportion`` mixes in read-only Balance transactions — the
+    third leg of the classic snapshot-isolation read-only anomaly;
+    ``extras`` lands in ``SystemConfig.extras`` (isolation level, engine
+    choice, ...).
+    """
     env = Environment()
-    config = SystemConfig(num_nodes=num_nodes, seed=seed)
+    config = SystemConfig(num_nodes=num_nodes, seed=seed,
+                          extras=extras or {})
     sys_obj = build_system(env, system, config, **(system_kwargs or {}))
     workload = SmallbankWorkload(SmallbankConfig(
-        num_accounts=num_accounts, theta=theta, seed=seed + 1))
+        num_accounts=num_accounts, theta=theta,
+        query_proportion=query_proportion, seed=seed + 1))
     sys_obj.load(workload.initial_records())
     n_clients = clients if clients is not None \
         else DEFAULT_CLIENTS.get(system, 256)
@@ -155,6 +180,7 @@ def run_smallbank_point(
     )
     result = run_closed_loop(env, sys_obj, workload.next_transaction, driver)
     result.extras["system"] = sys_obj
+    _attach_history(result, sys_obj)
     return result
 
 
@@ -249,7 +275,11 @@ def _portable_result(spec: PointSpec, result: RunResult,
         aborted=result.stats.aborted, abort_rate=result.abort_rate,
         mean_latency=result.stats.latency.mean,
         abort_reasons=dict(result.stats.abort_reasons),
-        phase_means=result.phase_means())
+        phase_means=result.phase_means(),
+        payload={"anomalies": result.extras["anomalies"],
+                 "serializable_history":
+                     result.extras["serializable_history"]}
+        if "anomalies" in result.extras else {})
 
 
 def run_spec(spec: PointSpec) -> PointResult:

@@ -29,11 +29,12 @@ from ..adt.mbt import MerkleBucketTree
 from ..adt.mpt import MerklePatriciaTrie
 from ..sim.kernel import Environment
 from ..workloads.zipf import ZipfGenerator
-from .harness import BENCH, SMOKE, Scale, run_point
+from .harness import BENCH, SMOKE, Scale, run_point, run_smallbank_point
 
 __all__ = ["bench_kernel", "bench_mpt", "bench_mbt", "bench_zipf",
            "bench_driver", "bench_fabric", "bench_scale", "bench_db",
-           "bench_storage", "bench_chaos", "run_perf", "write_trajectory"]
+           "bench_storage", "bench_chaos", "bench_isolation", "run_perf",
+           "write_trajectory"]
 
 
 def bench_kernel(events: int = 200_000, _timed: bool = True) -> dict:
@@ -230,6 +231,44 @@ def bench_storage(scale: Scale = BENCH, seed: int = 7) -> list[dict]:
     ]
 
 
+def bench_isolation(scale: Scale = BENCH, seed: int = 7) -> dict:
+    """Isolation-spectrum A/B: quorum SmallBank, serializable vs
+    read-committed.
+
+    Same seeded point twice, differing only in ``extras["isolation"]``.
+    Read-committed drops the first-committer-wins check, so hot-account
+    conflicts stop aborting and throughput climbs — the gain is the
+    price the serializable path pays for correctness, and the online
+    anomaly detector confirms the trade is real: the RC run's history
+    must admit lost updates (nonzero ``anomalies``) while the
+    serializable run's stays clean.  ``speedup`` (RC sim tps over
+    serializable sim tps) is the trajectory figure to track; ``wall_s``
+    covers both runs.
+    """
+    start = time.perf_counter()
+    levels: dict[str, dict] = {}
+    for level in ("serializable", "read_committed"):
+        res = run_smallbank_point("quorum", scale=scale, seed=seed,
+                                  num_accounts=200, theta=0.9,
+                                  extras={"isolation": level})
+        levels[level] = {
+            "sim_tps": res.tps,
+            "aborted": res.stats.aborted,
+            "serializable_history": res.extras["serializable_history"],
+            "anomalies": res.extras["anomalies"],
+        }
+    wall = time.perf_counter() - start
+    measured = scale.measure_txns * 2
+    ser_tps = levels["serializable"]["sim_tps"]
+    return {"name": "isolation", "system": "quorum", "scale": scale.name,
+            "seed": seed, "wall_s": round(wall, 4),
+            "txns_per_s": round(measured / wall) if wall else 0,
+            "sim_tps": ser_tps, "measured": measured,
+            "levels": levels,
+            "speedup": round(levels["read_committed"]["sim_tps"] / ser_tps, 3)
+            if ser_tps else 0.0}
+
+
 def bench_chaos(seed: int = 11) -> dict:
     """Chaos-harness rate: one seeded fault-schedule run on etcd.
 
@@ -282,6 +321,7 @@ def _perf_tasks(scale: Scale) -> list[tuple]:
         ("bench_scale", {"scale": run_scale}),
         ("bench_db", {"scale": run_scale}),
         ("bench_storage", {"scale": run_scale}),
+        ("bench_isolation", {"scale": run_scale}),
         ("bench_chaos", {}),
     ]
 
@@ -358,6 +398,8 @@ def format_perf(report: dict) -> str:
             line += f" [{r.get('clients', 0):,d} clients]"
         if name.startswith("storage-"):
             line += f" [{r.get('index', '?')}]"
+        if name == "isolation":
+            line += f" [rc speedup {r['speedup']}x]"
         if name == "chaos":
             line += f" [digest {r['digest'][:12]}]"
         lines.append(line)

@@ -9,8 +9,8 @@ deterministic chaos fingerprints (:mod:`.harness`).
 from .harness import ChaosResult, CONSERVED_PROCEDURES, run_chaos_point
 from .injector import ChaosInjector, discover_groups
 from .invariants import (ConservedBalances, Invariant, InvariantSuite,
-                         LivenessAfterHeal, NoLedgerFork, PrefixConsistency,
-                         default_invariants)
+                         LivenessAfterHeal, NoAnomalies, NoLedgerFork,
+                         PrefixConsistency, default_invariants)
 from .scenario import (AsymPartition, Censor, ClockSkew, CrashRestart,
                        Equivocate, GrayNode, LeaderChurn, Partition,
                        Scenario, SilentLeader, Step, STEP_KINDS)
@@ -21,6 +21,7 @@ __all__ = [
     "Censor", "SilentLeader",
     "ChaosInjector", "discover_groups",
     "Invariant", "InvariantSuite", "NoLedgerFork", "PrefixConsistency",
-    "ConservedBalances", "LivenessAfterHeal", "default_invariants",
+    "ConservedBalances", "LivenessAfterHeal", "NoAnomalies",
+    "default_invariants",
     "ChaosResult", "run_chaos_point", "CONSERVED_PROCEDURES",
 ]

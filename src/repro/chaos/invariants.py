@@ -21,8 +21,8 @@ from .injector import discover_groups
 from .scenario import Scenario
 
 __all__ = ["Invariant", "NoLedgerFork", "PrefixConsistency",
-           "ConservedBalances", "LivenessAfterHeal", "InvariantSuite",
-           "default_invariants"]
+           "ConservedBalances", "LivenessAfterHeal", "NoAnomalies",
+           "InvariantSuite", "default_invariants"]
 
 
 class Invariant:
@@ -216,6 +216,35 @@ class LivenessAfterHeal(Invariant):
         return None
 
 
+class NoAnomalies(Invariant):
+    """The run's committed history admits no isolation anomalies.
+
+    Final-only (building the multi-version serialization graph mid-run
+    would re-walk the whole history every check interval).  Requires a
+    system built with ``extras["isolation"]`` — that is what attaches
+    the online history checker.  Attach this when the robustness
+    certifier declares the (workload, isolation) pair robust: the
+    certificate predicts a clean history even under faults, and this
+    invariant holds the run to it.
+    """
+
+    name = "no-anomalies"
+
+    def check(self, system: Any, now: float) -> Optional[str]:
+        return None
+
+    def final(self, system: Any, now: float) -> Optional[str]:
+        history = getattr(system, "history", None)
+        if history is None:
+            return ("system has no history checker — build it with "
+                    "extras={'isolation': ...} to certify anomalies")
+        report = history.check()
+        nonzero = {k: v for k, v in report.anomalies.items() if v}
+        if nonzero:
+            return f"history admits anomalies: {nonzero}"
+        return None
+
+
 class InvariantSuite:
     """Runs invariants continuously during a run and once at the end."""
 
@@ -264,10 +293,18 @@ class InvariantSuite:
         return not self.violations
 
 
-def default_invariants(conserved: bool = False) -> list[Invariant]:
-    """The standard chaos suite: safety always, conservation on demand."""
+def default_invariants(conserved: bool = False,
+                       anomalies: bool = False) -> list[Invariant]:
+    """The standard chaos suite: safety always, conservation on demand.
+
+    ``anomalies=True`` adds the final-only history audit — only for
+    runs built with ``extras["isolation"]`` on a certified-robust
+    (workload, level) pair.
+    """
     invariants: list[Invariant] = [NoLedgerFork(), PrefixConsistency(),
                                    LivenessAfterHeal()]
     if conserved:
         invariants.append(ConservedBalances())
+    if anomalies:
+        invariants.append(NoAnomalies())
     return invariants

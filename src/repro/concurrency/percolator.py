@@ -69,6 +69,13 @@ class PercolatorStore:
     def __init__(self, store: Optional[VersionedStore] = None):
         self.store = store if store is not None else VersionedStore()
         self._locks: dict[str, _Lock] = {}
+        # key -> commit_ts of the last percolator commit.  The backing
+        # store may be shared with a replication layer that stamps its
+        # own apply counters, so ``store.version`` mixes two clocks —
+        # fine for the equality revalidation, unsound for ordered
+        # comparisons.  ``commit_clock=True`` prewrites compare against
+        # this oracle-coherent table instead.
+        self._commit_ts: dict[str, int] = {}
         # key -> latest commit_ts (the store's version doubles as this)
         self.prewrites = 0
         self.conflicts = 0
@@ -98,7 +105,9 @@ class PercolatorStore:
 
     def prewrite(self, txn_id: int, keys: list[str], primary: str,
                  start_ts: int,
-                 read_versions: Optional[dict[str, int]] = None) -> None:
+                 read_versions: Optional[dict[str, int]] = None,
+                 first_committer_wins: bool = True,
+                 commit_clock: bool = False) -> None:
         """Lock all written keys; raises :class:`PrewriteConflict`.
 
         Checks, per key: (1) no committed version newer than start_ts
@@ -108,6 +117,17 @@ class PercolatorStore:
         version, so this check substitutes for true snapshot reads and
         preserves snapshot isolation (no lost updates through stale reads).
         On failure all locks taken by this prewrite are rolled back.
+
+        ``first_committer_wins=False`` drops check (1) — the
+        read-committed point of the isolation spectrum, where only live
+        locks conflict and concurrent updates silently overwrite.
+
+        ``commit_clock=True`` runs check (1) against the per-key
+        commit-timestamp table rather than the raw store version, which
+        a shared replication layer stamps with its own counter.  Pure
+        snapshot isolation (no read revalidation) needs this: without
+        check (3) the mixed-clock comparison both misses real conflicts
+        and invents spurious ones.
         """
         if primary not in keys:
             raise ValueError("primary must be one of the written keys")
@@ -116,7 +136,9 @@ class PercolatorStore:
         try:
             for key in keys:
                 committed_ts = self.store.version(key)
-                if committed_ts > start_ts:
+                fcw_ts = self._commit_ts.get(key, 0) if commit_clock \
+                    else committed_ts
+                if first_committer_wins and fcw_ts > start_ts:
                     self.conflicts += 1
                     raise PrewriteConflict(key, "newer committed version")
                 seen = read_versions.get(key)
@@ -147,6 +169,7 @@ class PercolatorStore:
                 raise RuntimeError(
                     f"commit without prewrite lock on {key!r}")
             self.store.put(key, value, commit_ts)
+            self._commit_ts[key] = commit_ts
             del self._locks[key]
 
     def rollback(self, txn_id: int, keys: list[str]) -> None:

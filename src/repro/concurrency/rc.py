@@ -1,0 +1,24 @@
+"""Read-committed scheduler: snapshot staging, blind last-writer-wins apply.
+
+The cheapest point of the isolation spectrum: transactions read the
+latest committed state (no stale reads — reads still happen at one
+committed instant) but nothing validates at commit, so two concurrent
+read-modify-writes of the same key both install and the first write is
+silently lost.  That hazard is deliberate — it is what the
+`isolation_ablation` experiment measures (throughput gained vs lost
+updates admitted) and what :mod:`repro.analysis.serializability`
+classifies post-hoc.
+"""
+
+from __future__ import annotations
+
+from .si import SnapshotScheduler
+
+__all__ = ["ReadCommittedScheduler"]
+
+
+class ReadCommittedScheduler(SnapshotScheduler):
+    """Snapshot staging with first-committer-wins disabled."""
+
+    level = "read_committed"
+    first_committer_wins = False

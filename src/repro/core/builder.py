@@ -34,7 +34,8 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only; a module-level
     from ..sim.kernel import Environment
     from ..systems.base import SystemConfig, TransactionalSystem
 
-__all__ = ["build_system", "engine_for_index", "DEDICATED_MODELS"]
+__all__ = ["build_system", "engine_for_index", "DEDICATED_MODELS",
+           "ISOLATION_SYSTEMS"]
 
 
 def engine_for_index(kind: "IndexKind | str"):
@@ -95,6 +96,33 @@ class _LazyModels(dict):
 
 DEDICATED_MODELS = _LazyModels()
 
+#: Systems with a wired weakened-isolation path (``extras["isolation"]``
+#: in {"snapshot", "read_committed"}); "serializable" — every system's
+#: default semantics — is accepted anywhere.
+ISOLATION_SYSTEMS = frozenset({"etcd", "tikv", "tidb", "quorum"})
+
+
+def _check_isolation_support(target, config) -> None:
+    """Reject unsupported (system, isolation level) combos up front.
+
+    A weakened level on a system without a wired weak path would
+    silently run serializable — the same silent-misconfiguration class
+    the unknown-extras-key check closes.
+    """
+    extras = getattr(config, "extras", None) or {}
+    if "isolation" not in extras:
+        return
+    from ..concurrency.si import isolation_level
+    level = isolation_level(extras)
+    if level == "serializable":
+        return
+    name = target if isinstance(target, str) else target.name
+    if name.lower() not in ISOLATION_SYSTEMS:
+        raise ValueError(
+            f"isolation={level!r} is not supported on {name!r}; weakened "
+            f"isolation is wired into {sorted(ISOLATION_SYSTEMS)} "
+            f"(every system supports 'serializable')")
+
 
 def build_system(env: Environment,
                  target: Union[str, SystemProfile],
@@ -113,6 +141,7 @@ def build_system(env: Environment,
     disable WAL checkpointing ahead of the genesis commit.
     """
     from ..systems.hybrids import HybridSystem
+    _check_isolation_support(target, config)
     if isinstance(target, SystemProfile):
         sys_obj = HybridSystem(env, target, config, kwargs.get("spec"))
     else:

@@ -444,7 +444,9 @@ def engine_for(kind: Union[IndexKind, str],
 #: silent-misconfiguration class the hybrid spec validation closes.
 #: ``scenario`` carries a :class:`repro.chaos.Scenario` the builder arms
 #: after construction (ignored here — it is not an engine concern).
-KNOWN_EXTRAS_KEYS = frozenset({"index", "wal", "scenario"})
+#: ``isolation`` selects the concurrency level (validated by
+#: ``concurrency.si.isolation_level`` and ``core.builder``).
+KNOWN_EXTRAS_KEYS = frozenset({"index", "wal", "scenario", "isolation"})
 
 
 def engine_from_config(extras: dict,

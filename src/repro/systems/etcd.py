@@ -20,7 +20,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..concurrency.rc import ReadCommittedScheduler
 from ..concurrency.serial import SerialExecutor
+from ..concurrency.si import SnapshotScheduler, isolation_level
 from ..consensus.raft import RaftConfig, RaftGroup
 from ..sim.kernel import Environment, Event, subscribe
 from ..sim.resources import Resource
@@ -65,10 +67,20 @@ class _ApplyLoop:
         system = self.system
         txn = self.txn
         system._version += 1
-        # Single consensus order == serial execution: run the
-        # transaction (including any logic) against the state machine.
-        # Writes mirror into the storage engine via the state facade.
-        system.executor.execute(txn, system._version)
+        if system.scheduler is not None:
+            # Weakened isolation: the txn was staged (read + logic) at
+            # the gateway; the serial apply only validates (SI:
+            # first-updater-wins on write keys; RC: nothing) and
+            # installs the buffered write set.
+            system.scheduler.apply(txn, system._version)
+        else:
+            # Single consensus order == serial execution: run the
+            # transaction (including any logic) against the state
+            # machine.  Writes mirror into the storage engine via the
+            # state facade.
+            system.executor.execute(txn, system._version)
+        if system.history is not None:
+            system.history.observe(txn)
         # Engine commit per applied entry (etcd has no blocks; the WAL
         # group commit and any authenticated-index digests fold here).
         result = system.state.commit(system._version)
@@ -149,6 +161,33 @@ class _Update:
         ev.callbacks.append(self._decoded)
 
     def _decoded(self, _ev: Event) -> None:
+        system = self.system
+        if system.scheduler is not None:
+            # Weakened isolation: read the inputs at the gateway (one
+            # committed instant on the leader's read path) and run the
+            # logic *before* consensus, so the serialized apply loop
+            # only validates+installs.  Off the critical path — the
+            # serial apply/disk pipeline stays the bottleneck.
+            nreads = len(self.txn.read_keys)
+            if nreads:
+                ev = system._read_paths[self.leader.node.name].serve_event(
+                    system.costs.etcd_read_cpu * nreads)
+                ev.callbacks.append(self._staged)
+                return
+            self._stage_and_propose()
+            return
+        commit_ev = self.leader.propose(self.txn, size=self.size)
+        subscribe(commit_ev, self._committed)
+
+    def _staged(self, _ev: Event) -> None:
+        self._stage_and_propose()
+
+    def _stage_and_propose(self) -> None:
+        if not self.system.scheduler.stage(self.txn):
+            # Constraint violation against the gateway snapshot: answer
+            # the client without burning a consensus slot.
+            self._applied(None)
+            return
         commit_ev = self.leader.propose(self.txn, size=self.size)
         subscribe(commit_ev, self._committed)
 
@@ -205,6 +244,20 @@ class EtcdSystem(TransactionalSystem):
         # a single goroutine) and serialized read path per node.
         self._read_paths = {n.name: Resource(env, 1) for n in self.servers}
         self._waiters: dict[int, Event] = {}
+        # Isolation spectrum (extras["isolation"]): default is serial
+        # execution in log order (serializable).  Weakened levels stage
+        # reads+logic at the gateway and validate at apply: "snapshot"
+        # keeps first-updater-wins, "read_committed" installs blindly.
+        self.isolation = isolation_level(self.config.extras)
+        self.scheduler = None
+        self.history = None
+        if self.isolation == "snapshot":
+            self.scheduler = SnapshotScheduler(self.state)
+        elif self.isolation == "read_committed":
+            self.scheduler = ReadCommittedScheduler(self.state)
+        if "isolation" in self.config.extras:
+            from ..analysis.serializability import HistoryChecker
+            self.history = HistoryChecker()
         _ApplyLoop(self).start()
 
     # -- data loading -------------------------------------------------------
@@ -243,6 +296,20 @@ class EtcdSystem(TransactionalSystem):
         yield self.env.timeout(self.costs.net_latency)
         # gRPC decode + mvcc txn wrap on the leader (parallel across cores)
         yield leader.node.compute(self.costs.etcd_request_cpu)
+        if self.scheduler is not None:
+            # Weakened isolation: gateway-stage reads + logic (mirrors
+            # the flat chain's _decoded branch).
+            nreads = len(txn.read_keys)
+            if nreads:
+                yield self._read_paths[leader.node.name].serve_event(
+                    self.costs.etcd_read_cpu * nreads)
+            if not self.scheduler.stage(txn):
+                yield leader.node.nic_out.serve_event(
+                    self.costs.net_send_overhead
+                    + self.costs.transfer_time(128))
+                yield self.env.timeout(self.costs.net_latency)
+                done.succeed(txn)
+                return
         commit_ev = leader.propose(txn, size=size)
         try:
             yield commit_ev

@@ -22,7 +22,9 @@ from __future__ import annotations
 from typing import Optional
 
 from ..adt.mpt import MerklePatriciaTrie
+from ..concurrency.rc import ReadCommittedScheduler
 from ..concurrency.serial import SerialExecutor
+from ..concurrency.si import SnapshotScheduler, isolation_level
 from ..consensus.ibft import IbftConfig, IbftGroup
 from ..consensus.raft import RaftConfig, RaftGroup
 from ..sim.kernel import Environment, Event, WakeableQueue
@@ -30,7 +32,7 @@ from ..sim.resources import Resource, Store
 from ..storage.engine import MptEngine, engine_from_config
 from ..txn.ledger import Ledger
 from ..txn.state import VersionedStore
-from ..txn.transaction import AbortReason, Transaction
+from ..txn.transaction import AbortReason, Transaction, TxnStatus
 from .base import SystemConfig, TransactionalSystem
 
 __all__ = ["QuorumSystem"]
@@ -152,7 +154,27 @@ class QuorumSystem(TransactionalSystem):
         self.evm_threads = {n.name: Resource(env, 1) for n in self.servers}
         self._version = 0
         self.blocks_minted = 0
-        self.spawn(self._block_producer(), name="quorum-producer")
+        # Isolation spectrum (extras["isolation"]): the default
+        # order-execute pipeline is serializable (serial double
+        # execution in block order).  Weakened levels execute a block's
+        # transactions against one block-start snapshot — intra-block
+        # order no longer matters, so both execution phases fan out
+        # across the leader's cores instead of the single EVM thread:
+        # "snapshot" validates first-committer-wins at apply,
+        # "read_committed" installs blindly (lost updates admitted).
+        self.isolation = isolation_level(self.config.extras)
+        self.scheduler = None
+        self.history = None
+        if self.isolation == "snapshot":
+            self.scheduler = SnapshotScheduler(self.state)
+        elif self.isolation == "read_committed":
+            self.scheduler = ReadCommittedScheduler(self.state)
+        if "isolation" in self.config.extras:
+            from ..analysis.serializability import HistoryChecker
+            self.history = HistoryChecker()
+        producer = (self._block_producer_weak if self.scheduler is not None
+                    else self._block_producer)
+        self.spawn(producer(), name="quorum-producer")
         for node in self.servers[1:]:
             if self._measured:
                 self._delta_streams[node.name] = Store(env)
@@ -246,6 +268,8 @@ class QuorumSystem(TransactionalSystem):
                 yield evm.serve_event(self.costs.sig_verify + index_cost)
                 self._version += 1
                 self.executor.execute(txn, self._version)
+                if self.history is not None:
+                    self.history.observe(txn)
                 if not late_release:
                     txn.phases["commit"] = self.env.now - commit_start
                     self._finish(done, txn)
@@ -274,6 +298,99 @@ class QuorumSystem(TransactionalSystem):
                 for txn, done in batch:
                     txn.phases["commit"] = self.env.now - commit_start
                     self._finish(done, txn)
+            root = result.root if (result is not None
+                                   and self.engine.authenticated) else None
+            if root is not None:
+                self.ledger.append_block(block_txns, timestamp=self.env.now,
+                                         state_root=root)
+            else:
+                self.ledger.append_block(block_txns, timestamp=self.env.now)
+            self.blocks_minted += 1
+
+    def _block_producer_weak(self):
+        """Order-execute pipeline under weakened isolation.
+
+        Every transaction in a block executes against the *block-start
+        snapshot*, so intra-block data dependencies vanish and both
+        execution phases (pre-execution at proposal, validation
+        re-execution at commit) run in parallel across the leader's
+        cores — the throughput the serializable pipeline's serial
+        double execution gives up.  Semantics after consensus: stage
+        all reads at one committed instant, then serially
+        validate+apply in block order — first-committer-wins under
+        "snapshot" (conflicting writers abort with
+        ``WRITE_WRITE_CONFLICT``), blind last-writer-wins under
+        "read_committed" (lost updates admitted, counted post-hoc by
+        the anomaly detector).  Followers keep the serial re-execution
+        loop — they are off the client's critical path.
+        """
+        leader = self.servers[0]
+        evm = self.evm_threads[leader.name]
+        scheduler = self.scheduler
+        history = self.history
+        while True:
+            if not self.mempool:
+                yield self.mempool.wait()
+            yield self.env.timeout(self.costs.quorum_block_interval)
+            batch = self.mempool.take(self.costs.quorum_max_block_txns)
+            if not batch:
+                continue
+            proposal_start = self.env.now
+            # Phase 1: snapshot pre-execution, parallel across cores.
+            yield self.env.all_of([
+                leader.compute(self._exec_cost(txn)) for txn, _done in batch])
+            for txn, _done in batch:
+                txn.phases["proposal"] = self.env.now - proposal_start
+            # Phase 2: consensus on the assembled block (identical to
+            # the serializable pipeline).
+            consensus_start = self.env.now
+            block_txns = [txn for txn, _done in batch]
+            size = 512 + sum(192 + t.payload_size for t in block_txns)
+            try:
+                yield self.group.propose(block_txns, size=size)
+            except Exception:
+                for txn, done in batch:
+                    txn.mark_aborted(AbortReason.COORDINATOR_ABORT)
+                    self._finish(done, txn)
+                continue
+            for txn, _done in batch:
+                txn.phases["consensus"] = self.env.now - consensus_start
+            # Phase 3: parallel validation re-execution, then the
+            # zero-cost snapshot commit — stage every transaction's
+            # reads at the block tip, validate+install serially.
+            commit_start = self.env.now
+            measured = self._measured
+            yield self.env.all_of([
+                leader.compute(self.costs.sig_verify
+                               + (self.costs.evm_exec_time(txn.payload_size)
+                                  if measured else self._exec_cost(txn)))
+                for txn, _done in batch])
+            for txn, _done in batch:
+                scheduler.stage(txn)      # all reads: one block snapshot
+            for txn, _done in batch:
+                if txn.status is not TxnStatus.ABORTED:
+                    self._version += 1
+                    scheduler.apply(txn, self._version)
+                if history is not None:
+                    history.observe(txn)
+            # ONE batched engine commit per block, same as serializable.
+            result = self.state.commit(self._version)
+            if measured:
+                delta = result.hashes_computed
+                self.mpt_hashes_charged += delta
+                for stream in self._delta_streams.values():
+                    stream.put((delta, result.node_ops))
+                if self._engine_mode:
+                    yield evm.serve_event(
+                        self.costs.index_commit_time(delta, result.node_ops)
+                        + self._wal_cost)
+                else:
+                    yield evm.serve_event(self.costs.mpt_commit_time(delta))
+            elif self._engine_mode and self._wal_cost:
+                yield evm.serve_event(self._wal_cost)
+            for txn, done in batch:
+                txn.phases["commit"] = self.env.now - commit_start
+                self._finish(done, txn)
             root = result.root if (result is not None
                                    and self.engine.authenticated) else None
             if root is not None:

@@ -27,6 +27,7 @@ from typing import Optional
 
 from ..concurrency.percolator import (PercolatorStore, PrewriteConflict,
                                       TimestampOracle)
+from ..concurrency.si import isolation_level
 from ..sim.kernel import Countdown, Environment, Event, subscribe
 from ..sim.resources import Resource
 from ..txn.transaction import AbortReason, OpType, Transaction
@@ -65,7 +66,7 @@ class _Txn:
 
     __slots__ = ("system", "txn", "done", "server", "attempts", "start_ts",
                  "commit_ts", "reads", "write_set", "keys", "primary",
-                 "grants", "prewrites", "_idx", "_cur")
+                 "grants", "prewrites", "_idx", "_cur", "_hist_reads")
 
     def __init__(self, system: "TiDBSystem", txn: Transaction, done: Event):
         self.system = system
@@ -83,6 +84,7 @@ class _Txn:
         self.prewrites: list[Event] = []
         self._idx = 0
         self._cur = None
+        self._hist_reads = None
 
     def start(self) -> None:
         self.system.env._schedule_call(self._begin, None)
@@ -117,6 +119,8 @@ class _Txn:
 
     def _attempt_begin(self) -> None:
         self.start_ts = self.system.oracle.next()
+        if self.system.history is not None:
+            self._hist_reads = {}
         self.reads = {}
         self.write_set = {}
         self.keys = []
@@ -146,6 +150,21 @@ class _Txn:
         key = self.txn.ops[self._idx].key
         value, version = ev._value
         self.txn.read_set[key] = version
+        system = self.system
+        if system.history is not None:
+            # Shadow stamp for the history checker: the shared store mixes
+            # raft-apply counters with oracle commit timestamps, so its raw
+            # versions are CAS-comparable but not order-coherent.  The
+            # shadow clock ticks once per committed transaction, giving the
+            # MVSG builder a single coherent version order.
+            self._hist_reads[key] = system._hist_versions.get(key, 0)
+            owner = system.pstore.lock_owner(key)
+            if owner is not None and owner != self.txn.txn_id:
+                # The key is mid-commit: this may be the owner's
+                # prewritten value, attributable only once the owner's
+                # stamp is allocated (a value guard decides then).
+                system._hist_pending.setdefault(owner, []).append(
+                    (self._hist_reads, key, value))
         self.reads[key] = value if value is not None else b""
         self._idx += 1
         self._next_read()
@@ -165,6 +184,18 @@ class _Txn:
                 write_set.setdefault(op.key, op.value)
         txn.write_set = write_set
         if not write_set:
+            # Read-only commit: serializable and snapshot levels give
+            # read-only transactions a consistent snapshot, which the
+            # single-version store approximates by revalidating that no
+            # read was superseded (CAS-style, so the mixed store clock
+            # is fine); a conflict retries like a prewrite conflict.
+            # Read committed returns the raw sequential reads.
+            if (self.system.isolation != "read_committed"
+                    and any(self.system.pstore.store.version(key) != seen
+                            for key, seen in txn.read_set.items())):
+                txn.mark_aborted(AbortReason.WRITE_WRITE_CONFLICT)
+                self._after_attempt(False)
+                return
             txn.mark_committed()
             self._after_attempt(True)
             return
@@ -190,10 +221,13 @@ class _Txn:
     def _prewrite_locks(self) -> None:
         system = self.system
         txn = self.txn
+        iso = system.isolation
         try:
-            system.pstore.prewrite(txn.txn_id, self.keys, self.primary,
-                                   self.start_ts,
-                                   read_versions=txn.read_set)
+            system.pstore.prewrite(
+                txn.txn_id, self.keys, self.primary, self.start_ts,
+                read_versions=txn.read_set if iso == "serializable" else None,
+                commit_clock=iso == "snapshot",
+                first_committer_wins=iso != "read_committed")
         except PrewriteConflict:
             system.prewrite_conflicts += 1
             if not system.instant_abort:
@@ -241,6 +275,20 @@ class _Txn:
             self._participant_abort()
             return
         self.commit_ts = system.oracle.next()
+        if system.history is not None:
+            # Shadow-stamp at commit_ts allocation, not at install: the
+            # prewritten value is already reader-visible, and writers are
+            # latch-excluded until the install completes, so this is the
+            # point where reads of the new value become attributable.
+            system._hist_clock += 1
+            stamp = system._hist_clock
+            self.txn.write_versions = dict.fromkeys(self.keys, stamp)
+            for key in self.keys:
+                system._hist_versions[key] = stamp
+            for reads, key, seen in system._hist_pending.pop(
+                    self.txn.txn_id, ()):
+                if self.write_set.get(key) == seen:
+                    reads[key] = stamp
         primary_node = system.cluster.leader_node(self.primary)
         cpu = system.cluster.store_threads[primary_node.name].serve_event(
             system.costs.percolator_commit_cpu)
@@ -313,6 +361,13 @@ class _Txn:
         timer.callbacks.append(self._finish)
 
     def _finish(self, _ev: Event) -> None:
+        history = self.system.history
+        if history is not None:
+            if self._hist_reads is not None:
+                # Validation is done; hand the checker the shadow-clock
+                # read versions instead of the raw mixed-clock ones.
+                self.txn.read_set = self._hist_reads
+            history.observe(self.txn)
         self.done.succeed(self.txn)
 
 
@@ -345,6 +400,26 @@ class TiDBSystem(TransactionalSystem):
         self._latches: dict[str, Resource] = {}
         self.prewrite_conflicts = 0
         self.retries = 0
+        # Isolation spectrum (extras["isolation"]): the percolator runs
+        # serializable-grade SI by default; "snapshot" drops the
+        # read-version revalidation (write skew admitted), and
+        # "read_committed" additionally drops first-committer-wins
+        # (lost updates admitted, no conflict-resolution stalls).
+        self.isolation = isolation_level(self.config.extras)
+        self.history = None
+        # History-only shadow clock: ticks once per committed transaction
+        # and stamps per-key versions, because the shared store's raw
+        # versions mix raft-apply counters with oracle timestamps (fine
+        # for CAS-style validation, incoherent as a version *order*).
+        self._hist_clock = 0
+        self._hist_versions: dict[str, int] = {}
+        # Reads that landed in another transaction's prewrite window
+        # (value already reader-visible, stamp not yet allocated),
+        # keyed by the lock owner; patched when its stamp exists.
+        self._hist_pending: dict[int, list] = {}
+        if "isolation" in self.config.extras:
+            from ..analysis.serializability import HistoryChecker
+            self.history = HistoryChecker()
 
     # -- helpers ------------------------------------------------------------------
 
@@ -399,6 +474,8 @@ class TiDBSystem(TransactionalSystem):
         yield server.nic_out.serve_event(
             self.costs.net_send_overhead + self.costs.transfer_time(128))
         yield self.env.timeout(self.costs.net_latency)
+        if self.history is not None:
+            self.history.observe(txn)
         done.succeed(txn)
 
     def _attempt(self, txn: Transaction, server):
@@ -406,11 +483,18 @@ class TiDBSystem(TransactionalSystem):
         start_ts = self.oracle.next()
         # Read phase: point gets at region leaseholders.
         reads: dict[str, bytes] = {}
+        hist_reads: dict[str, int] = {}
         for op in txn.ops:
             if op.op_type in (OpType.READ, OpType.UPDATE):
                 yield server.compute(self.costs.store_get)
                 value, version = yield self.cluster.kv_read_gen(op.key)
                 txn.read_set[op.key] = version
+                if self.history is not None:
+                    hist_reads[op.key] = self._hist_versions.get(op.key, 0)
+                    owner = self.pstore.lock_owner(op.key)
+                    if owner is not None and owner != txn.txn_id:
+                        self._hist_pending.setdefault(owner, []).append(
+                            (hist_reads, op.key, value))
                 reads[op.key] = value if value is not None else b""
         # Execute logic -> write set.
         write_set: dict[str, bytes] = {}
@@ -425,6 +509,13 @@ class TiDBSystem(TransactionalSystem):
                 write_set.setdefault(op.key, op.value)
         txn.write_set = write_set
         if not write_set:
+            if (self.isolation != "read_committed"
+                    and any(self.pstore.store.version(key) != seen
+                            for key, seen in txn.read_set.items())):
+                txn.mark_aborted(AbortReason.WRITE_WRITE_CONFLICT)
+                return False
+            if self.history is not None:
+                txn.read_set = hist_reads
             txn.mark_committed()
             return True
         keys = sorted(write_set)
@@ -440,8 +531,12 @@ class TiDBSystem(TransactionalSystem):
             # Prewrite: conflict check + lock + one consensus write per
             # involved region group (the 2PC prepare).
             try:
-                self.pstore.prewrite(txn.txn_id, keys, primary, start_ts,
-                                     read_versions=txn.read_set)
+                self.pstore.prewrite(
+                    txn.txn_id, keys, primary, start_ts,
+                    read_versions=txn.read_set
+                    if self.isolation == "serializable" else None,
+                    first_committer_wins=self.isolation != "read_committed",
+                    commit_clock=self.isolation == "snapshot")
             except PrewriteConflict:
                 # Contention resolution: the coordinator resolves the
                 # blocking lock / consults txn status *while holding the
@@ -464,6 +559,16 @@ class TiDBSystem(TransactionalSystem):
             yield self.env.all_of(prewrites)
             # Commit: consensus write on the primary's group decides.
             commit_ts = self.oracle.next()
+            if self.history is not None:
+                self._hist_clock += 1
+                stamp = self._hist_clock
+                txn.write_versions = dict.fromkeys(keys, stamp)
+                for key in keys:
+                    self._hist_versions[key] = stamp
+                for hreads, key, seen in self._hist_pending.pop(
+                        txn.txn_id, ()):
+                    if write_set.get(key) == seen:
+                        hreads[key] = stamp
             primary_node = self.cluster.leader_node(primary)
             yield self.cluster.store_threads[primary_node.name].serve_event(
                 self.costs.percolator_commit_cpu)
@@ -472,6 +577,8 @@ class TiDBSystem(TransactionalSystem):
                 meta={"commit_ts": commit_ts, "primary": True})
             self.pstore.commit(txn.txn_id, write_set, commit_ts)
             txn.commit_version = commit_ts
+            if self.history is not None:
+                txn.read_set = hist_reads
             # Secondary commit records are written asynchronously.
             for key in keys[1:]:
                 self.cluster.kv_write_gen(key, write_set[key],

@@ -17,13 +17,15 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..concurrency.rc import ReadCommittedScheduler
+from ..concurrency.si import SnapshotScheduler, isolation_level
 from ..consensus.raft import RaftConfig, RaftGroup
 from ..sharding.partitioner import HashPartitioner
 from ..sim.kernel import Environment, Event, subscribe
 from ..sim.resources import Resource
 from ..storage.engine import engine_from_config
 from ..txn.state import VersionedStore
-from ..txn.transaction import Transaction
+from ..txn.transaction import OpType, Transaction
 from .base import SystemConfig, TransactionalSystem
 
 __all__ = ["TikvCluster", "TikvSystem"]
@@ -74,6 +76,10 @@ class _ApplyLoop:
             # would build the identical structure — wall-clock waste).
             cluster.state.put(record["key"], record["value"],
                               cluster._version)
+            # Stamp the installed version into the (shared) meta dict so
+            # client sessions can learn each write's version — the
+            # per-key commit stamps weakened-isolation histories need.
+            record["meta"]["applied_version"] = cluster._version
             result = cluster.state.commit(cluster._version)
             index_cost = cluster.costs.index_commit_time(
                 result.hashes_computed, result.node_ops)
@@ -313,15 +319,30 @@ class _Update:
     Client NIC egress -> propagation -> one replicated ``kv_write`` per
     write op (sequential, as the retained coroutine issued them) ->
     response NIC egress -> propagation -> done.
+
+    Under weakened isolation (``extras["isolation"]``) the chain grows a
+    client-driven read-compute-write session: leaseholder reads of every
+    input key, the transaction's logic against those values, then the
+    write-back of the derived write set.  "snapshot" holds
+    first-updater-wins write intents from reservation to the last apply
+    (conflicts abort with ``WRITE_WRITE_CONFLICT``); "read_committed"
+    writes back blindly.  Each applied write's version is collected into
+    ``txn.write_versions`` — per-key commit stamps for the MVSG checker.
+    The default (serializable) path is the seed's blind-write pipeline,
+    untouched.
     """
 
-    __slots__ = ("system", "txn", "done", "_idx")
+    __slots__ = ("system", "txn", "done", "_idx", "_reads", "_wkeys",
+                 "_metas")
 
     def __init__(self, system: "TikvSystem", txn: Transaction, done: Event):
         self.system = system
         self.txn = txn
         self.done = done
         self._idx = 0
+        self._reads = None
+        self._wkeys = None
+        self._metas = None
 
     def start(self) -> None:
         self.system.env._schedule_call(self._begin, None)
@@ -340,7 +361,88 @@ class _Update:
         timer.callbacks.append(self._arrived)
 
     def _arrived(self, _ev: Event) -> None:
+        if self.system.scheduler is not None:
+            self._reads = {}
+            self._next_session_read()
+            return
         self._next_write()
+
+    # -- weakened-isolation session (read -> logic -> write-back) ----------
+
+    def _next_session_read(self) -> None:
+        ops = self.txn.ops
+        idx = self._idx
+        while idx < len(ops) and ops[idx].op_type not in (OpType.READ,
+                                                          OpType.UPDATE):
+            idx += 1
+        if idx >= len(ops):
+            self._derive()
+            return
+        self._idx = idx
+        subscribe(self.system.cluster.kv_read(ops[idx].key),
+                  self._session_read_done)
+
+    def _session_read_done(self, ev: Event) -> None:
+        key = self.txn.ops[self._idx].key
+        value, version = ev._value
+        self.txn.read_set[key] = version
+        self._reads[key] = value if value is not None else b""
+        self._idx += 1
+        self._next_session_read()
+
+    def _derive(self) -> None:
+        system = self.system
+        txn = self.txn
+        scheduler = system.scheduler
+        if not scheduler.derive(txn, self._reads):
+            self._respond()     # LOGIC abort at the session snapshot
+            return
+        if not txn.write_set:
+            txn.mark_committed()
+            self._respond()
+            return
+        if not scheduler.reserve(txn):
+            # snapshot isolation: a conflicting intent or superseded
+            # read — first-updater-wins aborts before any consensus
+            self._respond()
+            return
+        self._wkeys = sorted(txn.write_set)
+        self._metas = {}
+        self._idx = 0
+        self._next_session_write()
+
+    def _next_session_write(self) -> None:
+        system = self.system
+        txn = self.txn
+        if self._idx >= len(self._wkeys):
+            txn.write_versions = {
+                key: meta["applied_version"]
+                for key, meta in self._metas.items()}
+            txn.commit_version = max(txn.write_versions.values())
+            system.scheduler.release(txn)
+            txn.mark_committed()
+            self._respond()
+            return
+        key = self._wkeys[self._idx]
+        # Seed the stamp so the dict is truthy: ``_KvWrite`` keeps a
+        # truthy meta as the shared record dict the leader's apply loop
+        # stamps ``applied_version`` into.
+        meta: dict = {"applied_version": 0}
+        self._metas[key] = meta
+        subscribe(system.cluster.kv_write(key, txn.write_set[key], meta=meta),
+                  self._session_wrote)
+
+    def _session_wrote(self, ev: Event) -> None:
+        txn = self.txn
+        if not ev._ok:
+            self.system.scheduler.release(txn)
+            txn.mark_aborted(txn.abort_reason)
+            self.done.succeed(txn)
+            return
+        self._idx += 1
+        self._next_session_write()
+
+    # -- default (serializable) blind-write pipeline -----------------------
 
     def _next_write(self) -> None:
         ops = self.txn.ops
@@ -376,8 +478,14 @@ class _Update:
         timer.callbacks.append(self._finish)
 
     def _finish(self, _ev: Event) -> None:
+        system = self.system
         txn = self.txn
-        txn.mark_committed()
+        if system.scheduler is None:
+            # Blind-write pipeline: commit is implied by the last apply.
+            # Weak sessions arrive with their status already decided.
+            txn.mark_committed()
+        if system.history is not None:
+            system.history.observe(txn)
         self.done.succeed(txn)
 
 
@@ -389,6 +497,25 @@ class TikvSystem(TransactionalSystem):
     def __init__(self, env: Environment, config: Optional[SystemConfig] = None):
         super().__init__(env, config)
         self.cluster = TikvCluster(self, self.config.num_nodes)
+        # Isolation spectrum (extras["isolation"]): the default pipeline
+        # is the seed's blind-write path (each op consensus-sequenced;
+        # serializable for single-key transactions).  Weakened levels
+        # run a client read-compute-write session per transaction —
+        # "snapshot" with first-updater-wins write intents,
+        # "read_committed" with blind write-back.  Multi-key reads are
+        # per-leaseholder (not one atomic snapshot), so weak levels are
+        # honest only for single-key transactions; the ablation pins
+        # ops_per_txn=1.
+        self.isolation = isolation_level(self.config.extras)
+        self.scheduler = None
+        self.history = None
+        if self.isolation == "snapshot":
+            self.scheduler = SnapshotScheduler(self.cluster.state)
+        elif self.isolation == "read_committed":
+            self.scheduler = ReadCommittedScheduler(self.cluster.state)
+        if "isolation" in self.config.extras:
+            from ..analysis.serializability import HistoryChecker
+            self.history = HistoryChecker()
 
     def load(self, records: dict[str, bytes]) -> None:
         self.cluster.load(records)

@@ -69,6 +69,12 @@ class Transaction:
     # Populated at execution time (Fabric-style rw-set):
     read_set: dict[str, int] = field(default_factory=dict)   # key -> version
     write_set: dict[str, bytes] = field(default_factory=dict)
+    # Per-key installed versions, for systems that apply each write at its
+    # own version stamp (e.g. tikv's per-raft-apply stamps under weakened
+    # isolation).  ``None`` (the common case — one commit stamp for the
+    # whole write set) costs no allocation; the MVSG checker prefers these
+    # over ``commit_version`` when present.
+    write_versions: Optional[dict[str, int]] = None
     # Optional application logic run at execution time against read values;
     # returning False signals a constraint violation (logic abort).
     logic: Optional[Callable[[dict[str, bytes]], Optional[dict[str, bytes]]]] = None

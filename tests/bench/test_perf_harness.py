@@ -48,7 +48,8 @@ def test_cli_perf_smoke_writes_trajectory(tmp_path, capsys):
     data = json.loads(files[0].read_text())
     assert set(data["benchmarks"]) == {"kernel", "mpt", "mbt", "zipf", "fabric",
                                        "driver", "scale", "db-etcd", "db-tidb",
-                                       "storage-mpt", "storage-lsm", "chaos"}
+                                       "storage-mpt", "storage-lsm",
+                                       "isolation", "chaos"}
 
 
 def test_cli_perf_budget_violation_fails(tmp_path, capsys):

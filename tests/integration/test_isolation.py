@@ -1,0 +1,97 @@
+"""Isolation axis integration: differential pins, config guards, chaos.
+
+The spectrum is only trustworthy if the serializable end of it IS the
+default path: routing a run through the isolation-aware schedulers with
+``extras={"isolation": "serializable"}`` must reproduce the default
+run byte-for-byte on every system that supports the axis.  The guards
+then pin the failure modes (typo'd key, unsupported system), and the
+chaos test closes the certification loop under faults.
+"""
+
+import pytest
+
+from repro.bench.harness import SMOKE, run_point
+from repro.chaos import (NoAnomalies, Partition, Scenario,
+                         default_invariants, run_chaos_point)
+from repro.core.builder import ISOLATION_SYSTEMS
+
+
+def _fingerprint(result):
+    return {
+        "tps": repr(result.tps),
+        "measured": result.measured,
+        "latency": repr(result.stats.latency.mean),
+        "aborted": result.stats.aborted,
+    }
+
+
+_POINT_PARAMS = {
+    "etcd": {},
+    "tikv": {},
+    "quorum": {},
+    # The skewed rmw point — the one whose retries would expose any
+    # scheduler-path divergence the uniform default hides.
+    "tidb": {"mode": "rmw", "theta": 0.9, "ops_per_txn": 2},
+}
+
+
+@pytest.mark.parametrize("system", sorted(ISOLATION_SYSTEMS))
+def test_explicit_serializable_is_byte_identical_to_default(system):
+    """Satellite guarantee: the isolation plumbing (history checker,
+    shadow stamps, scheduler dispatch) is observation-only at the
+    serializable level — same seed, same fingerprint."""
+    params = _POINT_PARAMS[system]
+    default = run_point(system, scale=SMOKE, seed=11, **params)
+    explicit = run_point(system, scale=SMOKE, seed=11,
+                         extras={"isolation": "serializable"}, **params)
+    assert _fingerprint(explicit) == _fingerprint(default)
+    # ...and the observation itself certifies the default path.
+    assert explicit.extras["serializable_history"] is True
+
+
+def test_typoed_isolation_key_rejected():
+    with pytest.raises(ValueError, match="isolaton"):
+        run_point("etcd", scale=SMOKE, extras={"isolaton": "snapshot"})
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ValueError, match="isolation"):
+        run_point("etcd", scale=SMOKE,
+                  extras={"isolation": "repeatable_read"})
+
+
+def test_unsupported_system_rejected():
+    assert "fabric" not in ISOLATION_SYSTEMS
+    with pytest.raises(ValueError, match="fabric"):
+        run_point("fabric", scale=SMOKE, extras={"isolation": "snapshot"})
+
+
+# -- chaos: certificates hold under faults ------------------------------------
+
+_SCENARIO = Scenario(
+    name="etcd-si-partition",
+    steps=(Partition(at=1.0, group_a=("etcd1",),
+                     group_b=("etcd0", "etcd2", "etcd3", "etcd4"),
+                     until=2.5),),
+    settle=2.5)
+
+
+def test_chaos_no_anomalies_invariant_holds_for_robust_config():
+    """The conserved SmallBank mix is certified robust against SI, so
+    the no-anomalies invariant must survive a partition storm."""
+    res = run_chaos_point(
+        "etcd", _SCENARIO, seed=11,
+        extras={"wal": True, "isolation": "snapshot"},
+        invariants=default_invariants(conserved=True, anomalies=True))
+    assert res.ok, f"invariant violations: {res.violations}"
+    assert res.checks > 0
+
+
+def test_chaos_no_anomalies_requires_history_checker():
+    """Arming the invariant without the isolation axis is a
+    misconfiguration the suite must surface, not silently pass."""
+    res = run_chaos_point("etcd", _SCENARIO, seed=11,
+                          extras={"wal": True},
+                          invariants=[NoAnomalies()])
+    assert not res.ok
+    assert any("no history checker" in v for v in res.violations)

@@ -19,6 +19,12 @@ by design (measured index-commit deltas), so each carries its own
 fingerprint while the default-config points stay byte-identical to the
 pre-engine seed values.
 
+The isolation-spectrum points (PR 8) pin every (system, weakened level)
+pair on the ``extras["isolation"]`` axis at the isolation_ablation
+table's YCSB-rmw parameters; ``isolation="serializable"`` has no pin of
+its own because it must match the default-path pins byte for byte
+(asserted by ``tests/integration/test_isolation.py``).
+
 The registry itself lives in :mod:`repro.bench.fingerprints` so the
 multiprocess sweep runner verifies the same pins; this module asserts
 them one by one and guards the registry's shape so an edit can't
@@ -41,12 +47,14 @@ _EXPECTED_POINTS = {
     "fabric", "tidb-skew", "tidb-skew-seed23", "spanner", "spanner-seed23",
     "veritas", "bigchaindb", "bigchaindb-idleskip", "quorum-lsm",
     "quorum-mpt", "fabric-mbt", "falcondb", "etcd-wal",
+    "etcd-si", "etcd-rc", "tikv-si", "tikv-rc", "tidb-si", "tidb-rc",
+    "quorum-si", "quorum-rc",
 }
 
 
 def test_registry_shape():
     assert set(FINGERPRINTS) == _EXPECTED_POINTS
-    assert len(FINGERPRINTS) == 19
+    assert len(FINGERPRINTS) == 27
 
 
 @pytest.mark.parametrize("point", sorted(FINGERPRINTS))
@@ -68,7 +76,7 @@ def test_run_point_fingerprint(point):
 def test_every_fingerprint_spec_matches_its_pin():
     """Canonical matching round-trips: each registry spec finds its pin."""
     specs = fingerprint_specs()
-    assert len(specs) == 19 + 3
+    assert len(specs) == 27 + 3
     for spec in specs:
         pin = expected_for_spec(spec)
         assert pin is not None, f"no pin matched for {spec.label}"

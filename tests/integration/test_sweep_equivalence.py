@@ -4,7 +4,7 @@ The sweep's contract is that ``--jobs N`` changes wall-clock time and
 nothing else: the merged trajectory must be field-for-field identical to
 a serial run except the wall-clock fields named in
 :data:`repro.bench.sweep.WALL_CLOCK_FIELDS`.  The fingerprint figure is
-the gate figure here — its 22 points (19 clean pins + 3 chaos digests)
+the gate figure here — its 30 points (27 clean pins + 3 chaos digests)
 each verify against the seeded registry inside the sweep itself.
 """
 
@@ -24,9 +24,9 @@ def test_serial_and_parallel_sweeps_merge_identically():
                        progress=_quiet)
     parallel = run_sweep(scale=SMOKE, jobs=2, figures=["fingerprints"],
                          progress=_quiet)
-    assert serial["verified"] == 22
+    assert serial["verified"] == 30
     assert serial["mismatches"] == []
-    assert parallel["verified"] == 22
+    assert parallel["verified"] == 30
     # byte-identical modulo wall clocks: compare the canonical JSON of
     # the deterministic views, which is what lands in SWEEP_*.json
     view_s = json.dumps(deterministic_view(serial), default=str, indent=2)
@@ -42,11 +42,12 @@ def test_enumerate_grid_covers_every_figure():
     figures = {spec.figure for spec in specs}
     assert figures == {"fig4", "fig5", "fig6", "fig7", "fig8", "tab4",
                        "tab5", "fig9", "fig10", "fig11", "fig12", "fig13",
-                       "fig14", "fig15", "fingerprints"}
+                       "fig14", "fig15", "isolation_ablation",
+                       "fingerprints"}
     labels = [spec.label for spec in specs]
     assert len(labels) == len(set(labels)), "duplicate point labels"
-    # the self-check figure carries all 22 pins
-    assert sum(1 for s in specs if s.figure == "fingerprints") == 22
+    # the self-check figure carries all 30 pins
+    assert sum(1 for s in specs if s.figure == "fingerprints") == 30
 
 
 def test_inventory_lists_without_running():

@@ -45,6 +45,7 @@ EXPERIMENTS = {
     "fig14": experiments.fig14_sharding,
     "fig15": experiments.fig15_hybrid_forecast,
     "isolation_ablation": experiments.isolation_ablation,
+    "openloop_knee": experiments.openloop_knee,
 }
 
 SCALES = {"smoke": SMOKE, "bench": BENCH, "paper": PAPER}

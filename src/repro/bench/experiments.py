@@ -36,7 +36,8 @@ __all__ = [
     "fig7_cft_vs_bft", "fig8_latency_breakdown", "tab4_scaling",
     "tab5_tidb_matrix", "fig9_skew", "fig10_opcount", "fig11_record_size",
     "fig12_storage", "fig13_ads_overhead", "fig14_sharding",
-    "fig15_hybrid_forecast", "isolation_ablation", "POINT_TABLES",
+    "fig15_hybrid_forecast", "isolation_ablation", "openloop_knee",
+    "POINT_TABLES",
 ]
 
 FOUR_SYSTEMS = ("fabric", "quorum", "tidb", "etcd")
@@ -726,6 +727,122 @@ def isolation_ablation(scale: Scale = BENCH) -> dict:
     return isolation_assemble(_run_serial(isolation_points(scale)))
 
 
+# ---------------------------------------------------------------------------
+# Open-loop knee: goodput vs offered load, CO-safe tail alongside
+# ---------------------------------------------------------------------------
+
+#: Offered-load baseline for the knee sweep — the etcd closed-loop peak
+#: (Fig. 4's highest wired-system point), so multiplier 1.0 sits at the
+#: nominal capacity and the knee falls inside the swept range.
+_OPENLOOP_BASE_RATE = 15_000.0
+
+#: Offered-load multipliers per scale (smoke trims the sub-knee ramp).
+_OPENLOOP_MULTIPLIERS = {
+    "smoke": (0.5, 1.0, 1.5, 2.0),
+    "bench": (0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0),
+    "paper": (0.25, 0.5, 0.75, 1.0, 1.1, 1.25, 1.5, 2.0, 3.0),
+}
+
+
+def openloop_point(multiplier: float = 1.0,
+                   base_rate: float = _OPENLOOP_BASE_RATE,
+                   duration: float = 0.6, warmup: float = 0.2,
+                   record_count: int = 2000, arrival: str = "poisson",
+                   system: str = "etcd", seed: int = 11) -> dict:
+    """One open-loop measurement at ``multiplier`` x the base rate.
+
+    The in-flight cap and admit queue are deliberately finite so
+    overload shows up as queueing delay, late admissions, and drops —
+    CO-safe p99 diverges while goodput saturates — instead of the run
+    silently absorbing an unbounded backlog.
+    """
+    from ..core.builder import build_system
+    from ..sim.kernel import Environment
+    from ..systems.base import SystemConfig
+    from ..workloads.openloop import OpenLoopConfig, run_open_loop
+    from ..workloads.ycsb import YcsbConfig, YcsbWorkload
+
+    env = Environment()
+    sys_obj = build_system(env, system, SystemConfig(num_nodes=5, seed=seed))
+    workload = YcsbWorkload(YcsbConfig(record_count=record_count,
+                                       record_size=1000, seed=seed + 1))
+    sys_obj.load(workload.initial_records())
+    cfg = OpenLoopConfig(
+        rate=base_rate * multiplier, duration=duration, warmup=warmup,
+        arrival=arrival, seed=seed, txn_timeout=1.0,
+        max_in_flight=256, admit_queue=2048,
+        max_sim_time=warmup + duration + 10.0)
+    res = run_open_loop(env, sys_obj, workload.next_update, cfg)
+    out = {
+        "multiplier": multiplier,
+        "offered_rate": cfg.rate,
+        "offered": res.offered,
+        "goodput": res.goodput,
+        "p50": res.p50, "p99": res.p99, "p999": res.p999,
+        "mean_latency": res.latency.mean,
+        "slo": res.slo, "slo_attainment": res.slo_attainment,
+        "committed": res.committed, "aborted": res.aborted,
+        "timeouts": res.timeouts, "dropped": res.dropped,
+        "late_admitted": res.late_admitted,
+        "digest": res.result_digest(),
+    }
+    if res.extras.get("wall_hit"):
+        out["wall_hit"] = True
+    return out
+
+
+def openloop_points(scale: Scale = BENCH,
+                    multipliers: Optional[tuple] = None) -> list[PointSpec]:
+    mults = multipliers if multipliers is not None \
+        else _OPENLOOP_MULTIPLIERS.get(scale.name,
+                                       _OPENLOOP_MULTIPLIERS["bench"])
+    small = scale.name == "smoke"
+    duration = 0.6 if small else 2.0
+    warmup = 0.2 if small else 0.5
+    return [
+        PointSpec(
+            figure="openloop_knee", key=(m,), runner="inline",
+            fn="openloop_point",
+            params=(("multiplier", m), ("duration", duration),
+                    ("warmup", warmup),
+                    ("record_count", scale.record_count), ("seed", 11)),
+            # Wall cost is ~linear in the arrival count, i.e. in the
+            # offered-load multiplier.
+            weight=1.0 + 1.5 * m * (1.0 if small else 3.0))
+        for m in mults
+    ]
+
+
+def openloop_assemble(results: dict) -> dict:
+    curve = [res.payload for (_m,), res in
+             sorted(results.items(), key=lambda kv: kv[0][0])]
+    out = {"id": "openloop_knee", "base_rate": _OPENLOOP_BASE_RATE,
+           "curve": curve}
+    if len(curve) >= 2:
+        # The open-loop signature a closed-loop driver cannot produce:
+        # past the knee, offered load keeps rising, goodput stops
+        # following it, and CO-safe p99 (measured from *intended*
+        # arrival) diverges.
+        first, last = curve[0], curve[-1]
+        peak_goodput = max(row["goodput"] for row in curve)
+        out["knee"] = {
+            "peak_goodput": peak_goodput,
+            "final_goodput_fraction": last["goodput"] / peak_goodput
+            if peak_goodput else 0.0,
+            "p99_divergence": last["p99"] / first["p99"]
+            if first["p99"] else 0.0,
+            "saturated": last["offered_rate"] > 1.2 * peak_goodput,
+        }
+    return out
+
+
+def openloop_knee(scale: Scale = BENCH,
+                  multipliers: Optional[tuple] = None) -> dict:
+    """Throughput-vs-offered-load knee under the open-loop driver."""
+    return openloop_assemble(_run_serial(openloop_points(scale,
+                                                         multipliers)))
+
+
 #: figure id -> (points enumerator, assembler); the sweep runner's menu.
 POINT_TABLES = {
     "fig4": (fig4_points, fig4_assemble),
@@ -743,4 +860,5 @@ POINT_TABLES = {
     "fig14": (fig14_points, fig14_assemble),
     "fig15": (fig15_points, fig15_assemble),
     "isolation_ablation": (isolation_points, isolation_assemble),
+    "openloop_knee": (openloop_points, openloop_assemble),
 }

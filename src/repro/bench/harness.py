@@ -268,6 +268,15 @@ def _reset_run_counters() -> None:
 
 def _portable_result(spec: PointSpec, result: RunResult,
                      wall_s: float) -> PointResult:
+    payload: dict = {}
+    if "anomalies" in result.extras:
+        payload["anomalies"] = result.extras["anomalies"]
+        payload["serializable_history"] = \
+            result.extras["serializable_history"]
+    if result.extras.get("wall_hit"):
+        # Truncated by the max_sim_time wall: surfaced so an undersized
+        # point can't masquerade as a full measurement downstream.
+        payload["wall_hit"] = True
     return PointResult(
         figure=spec.figure, key=spec.key, wall_s=round(wall_s, 4),
         tps=result.tps, measured=result.measured, elapsed=result.elapsed,
@@ -276,10 +285,7 @@ def _portable_result(spec: PointSpec, result: RunResult,
         mean_latency=result.stats.latency.mean,
         abort_reasons=dict(result.stats.abort_reasons),
         phase_means=result.phase_means(),
-        payload={"anomalies": result.extras["anomalies"],
-                 "serializable_history":
-                     result.extras["serializable_history"]}
-        if "anomalies" in result.extras else {})
+        payload=payload)
 
 
 def run_spec(spec: PointSpec) -> PointResult:

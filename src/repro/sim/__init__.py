@@ -8,6 +8,7 @@ from .network import Message, Network
 from .node import Node
 from .resources import Resource, Store
 from .rng import RngRegistry
+from .wheel import TimingWheel
 
 __all__ = [
     "AllOf",
@@ -28,6 +29,7 @@ __all__ = [
     "Store",
     "ThroughputMeter",
     "Timeout",
+    "TimingWheel",
     "TxnStats",
     "percentile",
 ]

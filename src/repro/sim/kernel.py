@@ -712,6 +712,36 @@ class Environment:
         self._last = None
         heapq.heappush(self._queue, (when, 1, seq, func, arg))
 
+    def _schedule_call_at(self, func: Callable, arg: Any, when: float) -> None:
+        """Schedule ``func(arg)`` at the absolute simulated time ``when``.
+
+        The timing wheel drains its slots through this: entries carry the
+        exact instant they were filed for, and re-deriving it as
+        ``now + (when - now)`` can land one ulp away from the stored
+        float — enough to flip dispatch order against a heap-scheduled
+        event at the same instant.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"_schedule_call_at({when!r}) is in the past "
+                f"(now={self.now!r})")
+        if self._last_when == when and self._last_prio == 1:
+            entries = self._last
+            if type(entries) is list:
+                entries.append(func)
+                entries.append(arg)
+                return
+            seq = self._seq = self._seq + 1
+            entries = [1, func, arg]
+            self._last = entries
+            heapq.heappush(self._queue, (when, 1, seq, entries))
+            return
+        seq = self._seq = self._seq + 1
+        self._last_when = when
+        self._last_prio = 1
+        self._last = None
+        heapq.heappush(self._queue, (when, 1, seq, func, arg))
+
     @staticmethod
     def _dispatch(event: Event) -> None:
         event._triggered = True  # Timeouts trigger at their due time.

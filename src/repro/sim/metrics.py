@@ -31,11 +31,13 @@ class LatencyRecorder:
     def __init__(self, name: str = ""):
         self.name = name
         self.samples: list[float] = []
+        self._sorted: Optional[list[float]] = None
 
     def record(self, latency: float) -> None:
         if latency < 0:
             raise ValueError(f"negative latency: {latency}")
         self.samples.append(latency)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -46,9 +48,18 @@ class LatencyRecorder:
         return sum(self.samples) / len(self.samples) if self.samples else 0.0
 
     def pct(self, p: float) -> float:
+        """Nearest-rank percentile over all recorded samples.
+
+        The sorted view is cached across calls — a p50/p99/p99.9 report
+        over a million open-loop samples costs one sort, not three.  The
+        length check catches samples appended behind ``record``'s back.
+        """
         if not self.samples:
             return 0.0
-        return percentile(sorted(self.samples), p)
+        srt = self._sorted
+        if srt is None or len(srt) != len(self.samples):
+            srt = self._sorted = sorted(self.samples)
+        return percentile(srt, p)
 
     @property
     def max(self) -> float:

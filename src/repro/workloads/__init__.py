@@ -1,6 +1,8 @@
 """Workload generators (YCSB, Smallbank) and the closed-loop driver."""
 
 from .driver import DriverConfig, RunResult, measure_system, run_closed_loop
+from .openloop import (OpenLoopConfig, OpenLoopResult, make_schedule,
+                       run_open_loop)
 from .smallbank import (SmallbankConfig, SmallbankWorkload, decode_balance,
                         encode_balance)
 from .ycsb import YcsbConfig, YcsbWorkload
@@ -8,6 +10,8 @@ from .zipf import ZipfGenerator
 
 __all__ = [
     "DriverConfig",
+    "OpenLoopConfig",
+    "OpenLoopResult",
     "RunResult",
     "SmallbankConfig",
     "SmallbankWorkload",
@@ -16,6 +20,8 @@ __all__ = [
     "ZipfGenerator",
     "decode_balance",
     "encode_balance",
+    "make_schedule",
     "measure_system",
     "run_closed_loop",
+    "run_open_loop",
 ]

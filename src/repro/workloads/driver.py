@@ -111,8 +111,15 @@ class _ClientSlot:
             if not ev._triggered:
                 # Count timeouts observed before measurement completed;
                 # post-measurement stragglers are not part of the result.
-                if not cohort.state["done"]:
-                    cohort.state["timeouts"] += 1
+                # Warm-up-phase timeouts are tallied separately — every
+                # other statistic is measured-window-only, and a slow
+                # warm-up must not masquerade as measured-window loss.
+                state = cohort.state
+                if not state["done"]:
+                    if state["warmup_active"]:
+                        state["warmup_timeouts"] += 1
+                    else:
+                        state["timeouts"] += 1
             elif ev._ok:
                 cohort.record(self.txn)
         if cohort.think_time > 0.0:
@@ -211,6 +218,10 @@ def prepare_closed_loop(
         "measure_count": 0,
         "measure_committed": 0,
         "timeouts": 0,
+        "warmup_timeouts": 0,
+        # True while completions are still warm-up; runs without a
+        # warm-up phase (warmup_txns <= 1) have no warm-up timeouts.
+        "warmup_active": cfg.warmup_txns > 1,
         "done": False,
         "finished_at": None,
     }
@@ -225,6 +236,7 @@ def prepare_closed_loop(
                     # The last warm-up completion starts the measurement
                     # clock; the *next* completion is the first measured.
                     state["measure_started_at"] = env.now
+                    state["warmup_active"] = False
                 return
             # warmup_txns <= 1: no warm-up phase — the window covers the
             # whole run and this very completion is measured.
@@ -278,20 +290,29 @@ def finalize_closed_loop(handle: _RunHandle) -> RunResult:
     stats = handle.stats
     started = state["measure_started_at"]
     ended = state["finished_at"] if state["finished_at"] is not None else env.now
+    extras: dict = {}
+    if state["warmup_timeouts"]:
+        extras["warmup_timeouts"] = state["warmup_timeouts"]
+    if not handle.finished.triggered:
+        # The max_sim_time wall fired before measure_txns completions: the
+        # run is truncated, and an undersized point must not masquerade as
+        # a full one.
+        extras["wall_hit"] = True
     if started is None or ended <= started:
         return RunResult(tps=0.0, stats=stats, elapsed=0.0,
                          measured=state["measure_count"],
-                         timeouts=state["timeouts"])
+                         timeouts=state["timeouts"], extras=extras)
     elapsed = ended - started
     # Throughput is *goodput*: committed transactions per second (what
     # Caliper/YCSB report as successful-operation throughput).
+    extras["completed_tps"] = state["measure_count"] / elapsed
     return RunResult(
         tps=state["measure_committed"] / elapsed,
         stats=stats,
         elapsed=elapsed,
         measured=state["measure_count"],
         timeouts=state["timeouts"],
-        extras={"completed_tps": state["measure_count"] / elapsed},
+        extras=extras,
     )
 
 

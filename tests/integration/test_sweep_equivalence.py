@@ -43,11 +43,27 @@ def test_enumerate_grid_covers_every_figure():
     assert figures == {"fig4", "fig5", "fig6", "fig7", "fig8", "tab4",
                        "tab5", "fig9", "fig10", "fig11", "fig12", "fig13",
                        "fig14", "fig15", "isolation_ablation",
-                       "fingerprints"}
+                       "openloop_knee", "fingerprints"}
     labels = [spec.label for spec in specs]
     assert len(labels) == len(set(labels)), "duplicate point labels"
     # the self-check figure carries all 30 pins
     assert sum(1 for s in specs if s.figure == "fingerprints") == 30
+
+
+def test_openloop_knee_serial_parallel_equivalence():
+    serial = run_sweep(scale=SMOKE, jobs=1, figures=["openloop_knee"],
+                       progress=_quiet)
+    parallel = run_sweep(scale=SMOKE, jobs=2, figures=["openloop_knee"],
+                         progress=_quiet)
+    assert serial["mismatches"] == []
+    view_s = json.dumps(deterministic_view(serial), default=str, indent=2)
+    view_p = json.dumps(deterministic_view(parallel), default=str, indent=2)
+    assert view_s == view_p
+    knee = serial["artifacts"]["openloop_knee"]["knee"]
+    # The open-loop signature: offered load outruns goodput at the top
+    # of the sweep while the CO-safe tail diverges.
+    assert knee["saturated"] is True
+    assert knee["p99_divergence"] > 5.0
 
 
 def test_inventory_lists_without_running():

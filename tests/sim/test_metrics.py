@@ -84,3 +84,40 @@ def test_txn_stats_phase_latency():
 
 def test_txn_stats_empty_abort_rate():
     assert TxnStats().abort_rate == 0.0
+
+
+def test_percentile_extremes_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0]
+    # p=0: nearest rank clamps to the first sample; p=100: the last.
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile([7.0], 0) == 7.0
+    assert percentile([7.0], 100) == 7.0
+
+
+def test_latency_recorder_sorted_cache_invalidation():
+    rec = LatencyRecorder()
+    for v in (0.3, 0.1, 0.2):
+        rec.record(v)
+    assert rec.pct(50) == 0.2
+    assert rec._sorted == [0.1, 0.2, 0.3]   # cache built by pct
+    rec.record(0.05)                        # must invalidate the cache
+    assert rec._sorted is None
+    assert rec.pct(50) == 0.1
+    assert rec.pct(100) == 0.3
+    assert rec.pct(0) == 0.05
+
+
+def test_latency_recorder_cache_detects_direct_appends():
+    rec = LatencyRecorder()
+    rec.record(0.2)
+    assert rec.pct(50) == 0.2
+    rec.samples.append(0.1)                 # behind record()'s back
+    assert rec.pct(0) == 0.1
+
+
+def test_latency_recorder_empty_pct_zero():
+    rec = LatencyRecorder()
+    assert rec.pct(0) == 0.0
+    assert rec.pct(50) == 0.0
+    assert rec.pct(100) == 0.0

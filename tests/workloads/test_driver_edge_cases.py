@@ -84,3 +84,55 @@ def test_driver_zero_measured_returns_zero_tps(env):
                      txn_timeout=0.1, max_sim_time=5))
     assert result.tps == 0.0
     assert result.measured == 0
+
+
+def test_warmup_timeouts_kept_out_of_measured_count(env):
+    # A short client timeout against a system whose every submission
+    # hangs during warm-up: the timeouts observed before measurement
+    # starts must land in extras["warmup_timeouts"], not in the
+    # measured-window RunResult.timeouts.
+    system = FlakySystem(env, hang_every=3)
+    wl = YcsbWorkload(YcsbConfig(record_count=50))
+    result = run_closed_loop(
+        env, system, wl.next_update,
+        DriverConfig(clients=8, warmup_txns=40, measure_txns=60,
+                     txn_timeout=0.05, max_sim_time=120))
+    assert result.measured == 60
+    assert result.extras.get("warmup_timeouts", 0) > 0
+    assert result.timeouts > 0
+    # Every third submission hangs, so the total of both counters can't
+    # exceed the hangs the system actually produced.
+    hangs = system.count // 3
+    assert result.timeouts + result.extras["warmup_timeouts"] <= hangs
+
+
+def test_no_warmup_phase_counts_all_timeouts_as_measured(env):
+    system = FlakySystem(env, hang_every=5)
+    wl = YcsbWorkload(YcsbConfig(record_count=50))
+    result = run_closed_loop(
+        env, system, wl.next_update,
+        DriverConfig(clients=4, warmup_txns=1, measure_txns=40,
+                     txn_timeout=0.05, max_sim_time=60))
+    assert result.timeouts > 0
+    assert "warmup_timeouts" not in result.extras
+
+
+def test_wall_truncation_sets_marker(env):
+    system = FlakySystem(env, delay=0.05)
+    wl = YcsbWorkload(YcsbConfig(record_count=50))
+    result = run_closed_loop(
+        env, system, wl.next_update,
+        DriverConfig(clients=2, warmup_txns=1, measure_txns=100_000,
+                     max_sim_time=1.0))
+    assert result.extras.get("wall_hit") is True
+    assert result.measured < 100_000
+
+
+def test_full_run_has_no_wall_marker(env):
+    system = FlakySystem(env)
+    wl = YcsbWorkload(YcsbConfig(record_count=50))
+    result = run_closed_loop(
+        env, system, wl.next_update,
+        DriverConfig(clients=4, warmup_txns=2, measure_txns=50))
+    assert "wall_hit" not in result.extras
+    assert result.measured == 50

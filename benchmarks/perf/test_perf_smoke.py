@@ -125,6 +125,29 @@ def test_isolation_ab_smoke_budget_and_direction():
     assert all(v == 0 for v in ser["anomalies"].values()), result
 
 
+def test_shards_smoke_budget_and_determinism():
+    import os
+
+    from repro.bench.perf import bench_shards
+    first = bench_shards(scale=SMOKE, seed=11, shards=64)
+    # One interleaved serial/parallel A/B pair at 64 shards: ~0.5s on a
+    # dev box; generous headroom for CI (spawned worker pool included).
+    # Guards the barrier protocol — a reintroduced per-window process
+    # spawn or a per-message pickle path blows this budget.
+    assert first["wall_s"] < 20.0, first
+    # Equivalence is the hard gate: bench_shards itself raises on a
+    # fingerprint mismatch, and the report must say so.
+    assert first["byte_identical"] is True
+    assert 0.0 <= first["barrier_wait_fraction"] <= 1.0
+    assert first["kernel"]["barriers"] > 0
+    # Speedup over the single heap is only a claim on real parallel
+    # hardware; a 1-2 core CI runner legitimately loses to the heap.
+    if (os.cpu_count() or 1) >= 8:
+        assert first["speedup"] > 1.0, first
+    second = bench_shards(scale=SMOKE, seed=11, shards=64)
+    assert first["digest"] == second["digest"], (first, second)
+
+
 def test_openloop_smoke_budget_and_determinism():
     from repro.bench.perf import bench_openloop
     first = bench_openloop(scale=SMOKE, seed=11)

@@ -22,6 +22,7 @@ one trajectory file byte-identical (modulo wall clocks) to a serial run.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -43,6 +44,7 @@ EXPERIMENTS = {
     "fig12": experiments.fig12_storage,
     "fig13": experiments.fig13_ads_overhead,
     "fig14": experiments.fig14_sharding,
+    "fig14_scaling": experiments.fig14_scaling_sweep,
     "fig15": experiments.fig15_hybrid_forecast,
     "isolation_ablation": experiments.isolation_ablation,
     "openloop_knee": experiments.openloop_knee,
@@ -78,13 +80,23 @@ def main(argv: list[str] | None = None) -> int:
                              "write a SWEEP_<date>.json trajectory file")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for --sweep / --perf "
-                             "(default 1 = serial)")
+                             "(default 1 = serial; 0 = cpu_count - 1). "
+                             "Pool workers are daemonic, so points that "
+                             "start shard-worker processes themselves "
+                             "(parallel=True kernel builds) always run "
+                             "in the parent, never nested in a worker")
+    parser.add_argument("--profile", action="store_true",
+                        help="with --perf: run each point under cProfile "
+                             "and write PROF_<point>.txt (top 25 by "
+                             "cumulative time) next to the trajectory; "
+                             "forces --jobs 1 semantics per point")
     parser.add_argument("--no-verify", action="store_true",
                         help="with --sweep: skip seeded-fingerprint "
                              "verification of swept points")
     parser.add_argument("--sweep-out", default=".",
                         help="directory for the SWEEP_*.json file")
     args = parser.parse_args(argv)
+    jobs = args.jobs if args.jobs > 0 else max(1, (os.cpu_count() or 2) - 1)
 
     if args.sweep:
         from .sweep import SweepMismatch, format_inventory, format_sweep, \
@@ -101,7 +113,7 @@ def main(argv: list[str] | None = None) -> int:
             print(format_inventory(scale, figures))
             return 0
         try:
-            report = run_sweep(scale=scale, jobs=args.jobs, figures=figures,
+            report = run_sweep(scale=scale, jobs=jobs, figures=figures,
                                verify=not args.no_verify)
         except SweepMismatch as exc:
             print(f"SWEEP FINGERPRINT MISMATCH: {exc}", file=sys.stderr)
@@ -117,7 +129,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.perf:
         from .perf import format_perf, run_perf, write_trajectory
-        report = run_perf(scale=SCALES[args.scale], jobs=args.jobs)
+        report = run_perf(scale=SCALES[args.scale], jobs=jobs,
+                          profile_dir=args.perf_out if args.profile
+                          else None)
         print(format_perf(report))
         path = write_trajectory(report, out_dir=args.perf_out)
         print(f"wrote {path}")

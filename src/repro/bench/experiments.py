@@ -36,8 +36,8 @@ __all__ = [
     "fig7_cft_vs_bft", "fig8_latency_breakdown", "tab4_scaling",
     "tab5_tidb_matrix", "fig9_skew", "fig10_opcount", "fig11_record_size",
     "fig12_storage", "fig13_ads_overhead", "fig14_sharding",
-    "fig15_hybrid_forecast", "isolation_ablation", "openloop_knee",
-    "POINT_TABLES",
+    "fig14_scaling_sweep", "fig15_hybrid_forecast", "isolation_ablation",
+    "openloop_knee", "POINT_TABLES",
 ]
 
 FOUR_SYSTEMS = ("fabric", "quorum", "tidb", "etcd")
@@ -607,6 +607,90 @@ def fig14_sharding(scale: Scale = BENCH,
 
 
 # ---------------------------------------------------------------------------
+# Figure 14 (scaling stretch): AHL to hundreds of shards, serial-vs-parallel
+# ---------------------------------------------------------------------------
+
+#: Shard counts for the hundreds-of-shards sweep (Fig. 14 stretch setup).
+_FIG14_SCALING_SHARDS = (4, 16, 64, 256)
+
+
+def fig14_scaling_points(scale: Scale = BENCH,
+                         shard_counts: tuple = _FIG14_SCALING_SHARDS,
+                         seed: int = 11) -> list[PointSpec]:
+    """AHL at 4..256 shards, each count under both execution kernels.
+
+    Per shard count, one point on the single-heap lookahead build
+    (``shard_lookahead=True``, the equivalence reference) and one on the
+    conservative-parallel build (``parallel=True``); the assembler
+    enforces byte-identical fingerprints per pair.  Parallel points are
+    ``no_fork`` — the shard-worker pool cannot be started inside a
+    daemonic ``--jobs`` pool worker — so the sweep runs them in its
+    parent process.
+    """
+    specs = []
+    for shards in shard_counts:
+        base = (("num_nodes", 3 * shards), ("seed", seed),
+                ("mode", "rmw"), ("ops_per_txn", 2), ("theta", 0.0))
+        weight = _weight("ahl", scale, ops_per_txn=2, num_nodes=3 * shards)
+        specs.append(PointSpec(
+            figure="fig14_scaling", key=("serial", shards), system="ahl",
+            scale=scale,
+            params=base + (("system_kwargs", {"shard_lookahead": True}),),
+            weight=weight))
+        specs.append(PointSpec(
+            figure="fig14_scaling", key=("parallel", shards), system="ahl",
+            scale=scale,
+            params=base + (("system_kwargs", {"parallel": True}),),
+            weight=weight, no_fork=True))
+    return specs
+
+
+def fig14_scaling_assemble(results: dict) -> dict:
+    """Fold the scaling matrix; equivalence is an assertion, not a field.
+
+    A shard count whose parallel fingerprint differs from its serial one
+    raises — a sweep must never report a scaling curve whose two kernels
+    disagreed on the simulated universe.
+    """
+    shards = sorted({n for (_b, n) in results})
+    tps = {"serial": {}, "parallel": {}}
+    wall = {"serial": {}, "parallel": {}}
+    for (build, n), res in results.items():
+        tps[build][n] = res.tps
+        wall[build][n] = res.wall_s
+    identical = {}
+    for n in shards:
+        s, p = results[("serial", n)], results[("parallel", n)]
+        if s.fingerprint != p.fingerprint:
+            raise AssertionError(
+                f"fig14_scaling: parallel kernel diverged from serial "
+                f"lookahead at {n} shards: {p.fingerprint} != "
+                f"{s.fingerprint}")
+        identical[n] = True
+    return {
+        "id": "fig14_scaling",
+        "shards": shards,
+        "measured": tps,
+        "wall_s": wall,
+        "speedup": {n: wall["serial"][n] / wall["parallel"][n]
+                    if wall["parallel"][n] else 0.0 for n in shards},
+        "byte_identical": identical,
+        "paper": {"note": "AHL throughput scales near-linearly in shard "
+                          "count at uniform access (Fig. 14 regime); "
+                          "speedup is wall-clock serial/parallel on this "
+                          "box and is not pinned"},
+    }
+
+
+def fig14_scaling_sweep(scale: Scale = BENCH,
+                        shard_counts: tuple = _FIG14_SCALING_SHARDS,
+                        seed: int = 11) -> dict:
+    """Serial-engine run of the hundreds-of-shards scaling matrix."""
+    return fig14_scaling_assemble(_run_serial(
+        fig14_scaling_points(scale, shard_counts, seed)))
+
+
+# ---------------------------------------------------------------------------
 # Figure 15: hybrid forecast vs reported and vs simulated
 # ---------------------------------------------------------------------------
 
@@ -858,6 +942,7 @@ POINT_TABLES = {
     "fig12": (fig12_points, fig12_assemble),
     "fig13": (fig13_points, fig13_assemble),
     "fig14": (fig14_points, fig14_assemble),
+    "fig14_scaling": (fig14_scaling_points, fig14_scaling_assemble),
     "fig15": (fig15_points, fig15_assemble),
     "isolation_ablation": (isolation_points, isolation_assemble),
     "openloop_knee": (openloop_points, openloop_assemble),

@@ -198,7 +198,10 @@ class PointSpec:
     :class:`Scale`, and the keyword arguments (``params``) in canonical
     ``(name, value)`` pair form.  ``figure``/``key`` locate the result in
     the assembled artifact dict; ``weight`` is a relative wall-cost
-    estimate used for longest-job-first scheduling.
+    estimate used for longest-job-first scheduling.  ``no_fork`` marks a
+    point that must run in the sweep's parent process — set for points
+    that spawn shard-worker processes themselves (``parallel=True``
+    builds), which a daemonic ``--jobs`` pool worker cannot host.
     """
 
     figure: str
@@ -209,6 +212,7 @@ class PointSpec:
     params: tuple = ()         # ((name, value), ...) runner kwargs
     fn: str = ""               # inline runner: experiments.<fn> to call
     weight: float = 1.0
+    no_fork: bool = False      # run in the sweep parent, never a pool worker
 
     def kwargs(self) -> dict:
         return dict(self.params)

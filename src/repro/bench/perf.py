@@ -34,7 +34,7 @@ from .harness import BENCH, SMOKE, Scale, run_point, run_smallbank_point
 __all__ = ["bench_kernel", "bench_mpt", "bench_mbt", "bench_zipf",
            "bench_driver", "bench_fabric", "bench_scale", "bench_db",
            "bench_storage", "bench_chaos", "bench_isolation",
-           "bench_openloop", "run_perf", "write_trajectory"]
+           "bench_openloop", "bench_shards", "run_perf", "write_trajectory"]
 
 
 def bench_kernel(events: int = 200_000, _timed: bool = True) -> dict:
@@ -357,6 +357,95 @@ def bench_openloop(scale: Scale = BENCH, seed: int = 11,
     return out
 
 
+def bench_shards(scale: Scale = BENCH, seed: int = 11, shards: int = 64,
+                 repeats: int = 0) -> dict:
+    """Parallel-kernel A/B at ``shards`` shards: serial lookahead vs
+    ``parallel=True`` on the identical seeded AHL point.
+
+    The two builds are interleaved ``repeats`` times (serial, parallel,
+    serial, ...) and ``speedup`` is the ratio of *median* walls, per the
+    ROADMAP's A/B methodology — back-to-back pairs cancel box drift.
+    Every pair is also a live differential test: the RunResult
+    fingerprints must be byte-identical or the bench raises.  The
+    workload is uniform rmw with 2 ops/txn so cross-shard 2PC keeps the
+    shard pipelines (the part that parallelizes) busy relative to the
+    hub.  ``barrier_wait_fraction`` is the share of the parallel run's
+    wall spent blocked on worker replies — the number the amortization
+    layers (2L stride, idle-worker elision, packed frames, persistent
+    pool) exist to shrink.  ``digest`` covers only box-independent
+    fields (fingerprints + simulated barrier/message counts), never
+    walls or pool geometry, so it is a cross-box determinism gate.
+    """
+    import hashlib
+    import statistics
+    small = scale.name == "smoke"
+    if repeats <= 0:
+        repeats = 1 if small else 3
+    kwargs = dict(scale=scale, num_nodes=3 * shards, seed=seed,
+                  mode="rmw", ops_per_txn=2, theta=0.0)
+    walls = {"serial": [], "parallel": []}
+    fps: dict[str, dict] = {}
+    kernel_stats: dict = {}
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for arm, sk in (("serial", {"shard_lookahead": True}),
+                        ("parallel", {"parallel": True})):
+            t0 = time.perf_counter()
+            res = run_point("ahl", system_kwargs=sk, **kwargs)
+            walls[arm].append(time.perf_counter() - t0)
+            fp = {"sim_tps": repr(res.tps), "measured": res.measured,
+                  "mean_latency": repr(res.stats.latency.mean),
+                  "aborted": res.stats.aborted, "timeouts": res.timeouts,
+                  "elapsed": repr(res.elapsed)}
+            if arm in fps and fps[arm] != fp:  # pragma: no cover - trap
+                raise AssertionError(f"{arm} arm drifted across repeats")
+            fps[arm] = fp
+            if arm == "parallel":
+                kernel_stats = res.extras["parallel_kernel"]
+    if fps["serial"] != fps["parallel"]:  # pragma: no cover - trap
+        raise AssertionError(
+            "parallel RunResult diverged from serial lookahead: "
+            f"{fps['serial']} != {fps['parallel']}")
+    wall = time.perf_counter() - start
+    serial_med = statistics.median(walls["serial"])
+    parallel_med = statistics.median(walls["parallel"])
+    digest_src = json.dumps(
+        {"shards": shards, "seed": seed, "scale": scale.name,
+         "fingerprint": fps["serial"],
+         "barriers": kernel_stats["barriers"],
+         "arrivals": kernel_stats["arrivals"],
+         "completions": kernel_stats["completions"]},
+        sort_keys=True)
+    return {
+        "name": "shards", "system": "ahl", "scale": scale.name,
+        "seed": seed, "shards": shards, "repeats": repeats,
+        "wall_s": round(wall, 4),
+        "txns_per_s": round(scale.measure_txns * 2 * repeats / wall)
+        if wall else 0,
+        "sim_tps": float(fps["serial"]["sim_tps"]),
+        "measured": fps["serial"]["measured"],
+        "serial_wall_s": round(serial_med, 4),
+        "parallel_wall_s": round(parallel_med, 4),
+        "speedup": round(serial_med / parallel_med, 3)
+        if parallel_med else 0.0,
+        "barrier_wait_fraction": round(
+            kernel_stats["barrier_wait_s"] / parallel_med, 4)
+        if parallel_med else 0.0,
+        "byte_identical": fps["serial"] == fps["parallel"],
+        "kernel": {k: kernel_stats[k] for k in
+                   ("procs", "barriers", "exchanges", "elided",
+                    "arrivals", "completions", "bytes_sent",
+                    "bytes_recv")},
+        "digest": hashlib.sha256(digest_src.encode()).hexdigest(),
+    }
+
+
+#: Perf points that must run in the parent process under ``--jobs``:
+#: they start their own worker pool (``parallel=True`` shard workers),
+#: which a daemonic pool worker is forbidden to do.
+_PARENT_ONLY = frozenset({"bench_shards"})
+
+
 def _perf_tasks(scale: Scale) -> list[tuple]:
     """The microbenchmark plan as picklable ``(fn_name, kwargs)`` pairs."""
     small = scale.name == "smoke"
@@ -374,16 +463,34 @@ def _perf_tasks(scale: Scale) -> list[tuple]:
         ("bench_isolation", {"scale": run_scale}),
         ("bench_openloop", {"scale": run_scale}),
         ("bench_chaos", {}),
+        ("bench_shards", {"scale": run_scale}),
     ]
 
 
 def _run_perf_task(task: tuple):
-    name, kwargs = task
+    name, kwargs = task[0], task[1]
     import repro.bench.perf as perf_mod
-    return perf_mod.__dict__[name](**kwargs)
+    fn = perf_mod.__dict__[name]
+    profile_dir = task[2] if len(task) > 2 else None
+    if profile_dir is None:
+        return fn(**kwargs)
+    import cProfile
+    import io
+    import pstats
+    prof = cProfile.Profile()
+    out = prof.runcall(fn, **kwargs)
+    buf = io.StringIO()
+    stats = pstats.Stats(prof, stream=buf)
+    stats.sort_stats("cumulative").print_stats(25)
+    point = name.removeprefix("bench_")
+    path = Path(profile_dir) / f"PROF_{point}.txt"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(buf.getvalue())
+    return out
 
 
-def run_perf(scale: Scale = BENCH, jobs: int = 1) -> dict:
+def run_perf(scale: Scale = BENCH, jobs: int = 1,
+             profile_dir: str | None = None) -> dict:
     """Run every microbenchmark, scaled down for smoke runs.
 
     ``jobs > 1`` farms the benchmarks across a spawn-safe worker pool
@@ -392,15 +499,35 @@ def run_perf(scale: Scale = BENCH, jobs: int = 1) -> dict:
     workers contend for cores and inflate individual wall numbers.  The
     ``sim_tps``/``root``/``checksum``/``digest`` fingerprints are
     execution-order independent and must match between the two modes.
+    Points in :data:`_PARENT_ONLY` (they spawn shard-worker pools of
+    their own) always run in the parent, overlapped with the pool.
+
+    ``profile_dir`` wraps every point in :mod:`cProfile` and writes a
+    ``PROF_<point>.txt`` top-25-cumulative listing per point — the
+    before/after attribution tool for barrier-wait and other hot-path
+    work.  Profiled walls carry tracing overhead; don't compare them
+    against unprofiled trajectory files.
     """
-    tasks = _perf_tasks(scale)
+    tasks = [(name, kwargs, profile_dir)
+             for name, kwargs in _perf_tasks(scale)]
     if jobs <= 1:
         outs = [_run_perf_task(t) for t in tasks]
     else:
         import multiprocessing as mp
+        pool_idx = [i for i, t in enumerate(tasks)
+                    if t[0] not in _PARENT_ONLY]
+        parent_idx = [i for i, t in enumerate(tasks)
+                      if t[0] in _PARENT_ONLY]
         ctx = mp.get_context("spawn")
+        outs = [None] * len(tasks)
         with ctx.Pool(processes=jobs) as pool:
-            outs = pool.map(_run_perf_task, tasks, chunksize=1)
+            async_res = pool.map_async(_run_perf_task,
+                                       [tasks[i] for i in pool_idx],
+                                       chunksize=1)
+            for i in parent_idx:
+                outs[i] = _run_perf_task(tasks[i])
+            for i, out in zip(pool_idx, async_res.get()):
+                outs[i] = out
     results: list[dict] = []
     for out in outs:
         results.extend(out if isinstance(out, list) else [out])
@@ -457,6 +584,10 @@ def format_perf(report: dict) -> str:
                      f"digest {r['digest'][:12]}]")
         if name == "chaos":
             line += f" [digest {r['digest'][:12]}]"
+        if name == "shards":
+            line += (f" [{r['shards']} shards, speedup {r['speedup']}x, "
+                     f"barrier wait {r['barrier_wait_fraction']:.0%}, "
+                     f"digest {r['digest'][:12]}]")
         if r.get("wall_hit"):
             line += " [TRUNCATED: max_sim_time wall hit]"
         lines.append(line)

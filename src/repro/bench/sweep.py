@@ -103,9 +103,18 @@ def _iter_pool(specs: list[PointSpec], jobs: int):
         for item in items:
             yield _run_indexed(item)
         return
+    # Points that spawn shard-worker processes themselves (no_fork, e.g.
+    # parallel=True kernel builds) cannot run inside a daemonic pool
+    # worker — the coupler refuses nested pools.  They run in the parent,
+    # overlapped with the pool draining the rest.
+    pool_items = [item for item in items if not item[1].no_fork]
+    parent_items = [item for item in items if item[1].no_fork]
     ctx = mp.get_context("spawn")
     with ctx.Pool(processes=jobs, initializer=_worker_init) as pool:
-        yield from pool.imap_unordered(_run_indexed, items, chunksize=1)
+        pending = pool.imap_unordered(_run_indexed, pool_items, chunksize=1)
+        for item in parent_items:
+            yield _run_indexed(item)
+        yield from pending
 
 
 def run_sweep(scale: Scale = BENCH, jobs: int = 1,

@@ -4,8 +4,8 @@ from .bft2pc import BftCoordinator
 from .formation import (FormationMethod, ReconfigurationSchedule,
                         ShardFormation, min_shard_size,
                         shard_failure_probability)
-from .partitioner import (HashPartitioner, RangePartitioner,
-                          WorkloadAwarePartitioner)
+from .partitioner import (HashPartitioner, HotSplitPartitioner,
+                          RangePartitioner, WorkloadAwarePartitioner)
 from .twopc import Decision, Participant, TwoPhaseCoordinator, Vote
 
 __all__ = [
@@ -13,6 +13,7 @@ __all__ = [
     "Decision",
     "FormationMethod",
     "HashPartitioner",
+    "HotSplitPartitioner",
     "Participant",
     "RangePartitioner",
     "ReconfigurationSchedule",

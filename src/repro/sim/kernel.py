@@ -742,6 +742,24 @@ class Environment:
         self._last = None
         heapq.heappush(self._queue, (when, 1, seq, func, arg))
 
+    def _schedule_call_last(self, func: Callable, arg: Any) -> None:
+        """Schedule ``func(arg)`` at the current instant, *after* every
+        event and priority-1 call already due at it.
+
+        Priority 2 is a rendezvous slot for cross-build determinism: a
+        callback whose dispatch position at a tied instant would
+        otherwise depend on *when its trigger was created* (a network
+        hop timer made one lookahead earlier vs. a barrier injection
+        made at the window start) runs here instead, so single-heap and
+        parallel builds place it identically.  Relative order among
+        same-instant priority-2 entries is creation order, as usual.
+        No slab coalescing: these are rare (one per cross-domain
+        delivery instant), and leaving the ``_last`` memo untouched
+        keeps the priority-1 fast path unperturbed.
+        """
+        seq = self._seq = self._seq + 1
+        heapq.heappush(self._queue, (self.now, 2, seq, func, arg))
+
     @staticmethod
     def _dispatch(event: Event) -> None:
         event._triggered = True  # Timeouts trigger at their due time.

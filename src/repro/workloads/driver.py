@@ -361,7 +361,9 @@ def run_closed_loop_windowed(
     handle = prepare_closed_loop(env, system, next_txn, config)
     cfg = handle.cfg
     state = handle.state
-    window = coupler.window
+    # The barrier period: couplers with a staggered protocol expose a
+    # stride larger than the one-hop lookahead window.
+    window = getattr(coupler, "stride", coupler.window)
     horizon = cfg.max_sim_time + cfg.txn_timeout + 1.0
     boundary = 0.0
     try:
@@ -374,7 +376,14 @@ def run_closed_loop_windowed(
             coupler.end_window(boundary)
     finally:
         coupler.shutdown()
-    return finalize_closed_loop(handle)
+    result = finalize_closed_loop(handle)
+    stats = getattr(coupler, "stats", None)
+    if stats is not None:
+        # Kernel telemetry (barrier counts, elision, byte volumes,
+        # wall-clock barrier wait).  Outside the fingerprint projection:
+        # some fields depend on worker-pool size, i.e. the box.
+        result.extras["parallel_kernel"] = dict(stats)
+    return result
 
 
 def measure_system(

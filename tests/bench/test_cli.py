@@ -24,7 +24,7 @@ def test_no_args_prints_help(capsys):
 
 def test_registry_covers_every_paper_artifact():
     expected = {f"fig{i}" for i in range(4, 16)} | {"tab4", "tab5"} \
-        | {"isolation_ablation", "openloop_knee"}
+        | {"isolation_ablation", "openloop_knee", "fig14_scaling"}
     assert set(EXPERIMENTS) == expected
 
 

@@ -49,7 +49,8 @@ def test_cli_perf_smoke_writes_trajectory(tmp_path, capsys):
     assert set(data["benchmarks"]) == {"kernel", "mpt", "mbt", "zipf", "fabric",
                                        "driver", "scale", "db-etcd", "db-tidb",
                                        "storage-mpt", "storage-lsm",
-                                       "isolation", "openloop", "chaos"}
+                                       "isolation", "openloop", "chaos",
+                                       "shards"}
 
 
 def test_cli_perf_budget_violation_fails(tmp_path, capsys):

@@ -43,7 +43,7 @@ def test_enumerate_grid_covers_every_figure():
     assert figures == {"fig4", "fig5", "fig6", "fig7", "fig8", "tab4",
                        "tab5", "fig9", "fig10", "fig11", "fig12", "fig13",
                        "fig14", "fig15", "isolation_ablation",
-                       "openloop_knee", "fingerprints"}
+                       "openloop_knee", "fig14_scaling", "fingerprints"}
     labels = [spec.label for spec in specs]
     assert len(labels) == len(set(labels)), "duplicate point labels"
     # the self-check figure carries all 30 pins
